@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Heavy
+cluster simulations run with ``rounds=1`` via ``benchmark.pedantic`` so
+the harness stays tractable; the analytical tables run as ordinary
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.llm.catalog import LLAMA2_70B
+from repro.perf.profiler import get_default_profile
+from repro.workload.synthetic import make_one_hour_trace
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_default_profile(LLAMA2_70B)
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """A 15-minute slice of the 1-hour trace used for cluster benchmarks."""
+    trace = make_one_hour_trace("conversation", seed=7, rate_scale=10.0)
+    return trace.slice(0.0, 900.0)
+
+
+@pytest.fixture(scope="session")
+def bench_config(profile):
+    return ExperimentConfig(profile=profile, max_servers=24)

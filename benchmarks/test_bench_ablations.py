@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the value of individual
+mechanisms: the hierarchical decomposition vs the exact optimiser, the
+minimal-movement re-sharding planner vs a naive full reload, and
+fragmentation handling.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import plan_global, plan_sharding
+from repro.core.resharding import CANONICAL_LAYOUTS, plan_reshard
+from repro.experiments.runner import run_policy_on_trace
+from repro.policies import DYNAMO_LLM
+from repro.policies.base import PolicySpec
+
+
+def test_hierarchical_vs_global_optimizer(benchmark, profile):
+    """How close the per-pool heuristic gets to the exact Equation-1 optimum."""
+
+    def run():
+        gaps = []
+        for request_type, load in (("SS", 1500.0), ("MM", 4000.0), ("LL", 6000.0)):
+            heuristic = plan_sharding(profile, request_type, total_gpus=24, load_tps=load)
+            exact = plan_global(profile, request_type, total_gpus=24, load_tps=load)
+            gaps.append(
+                (request_type, heuristic.expected_power_watts, exact.expected_power_watts)
+            )
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — hierarchical heuristic vs exact optimiser (expected W)")
+    for request_type, heuristic_power, exact_power in gaps:
+        print(
+            f"  {request_type}: heuristic={heuristic_power:7.1f} W  exact={exact_power:7.1f} W  "
+            f"gap={(heuristic_power / exact_power - 1.0):+.1%}"
+        )
+    # The heuristic can never beat the exact optimum, and stays within a
+    # small constant factor of it (it fixes the frequency at the maximum and
+    # uses a single TP degree per pool, so some gap is expected).
+    for _type, heuristic_power, exact_power in gaps:
+        assert heuristic_power >= exact_power - 1e-6
+        assert heuristic_power <= exact_power * 2.0
+
+
+def test_resharding_matching_vs_naive(benchmark):
+    """Data moved by the max-matching planner vs a naive full re-load."""
+
+    def run():
+        rows = []
+        for source in ("TP2", "TP4", "2TP4", "TP8"):
+            for destination in ("TP4", "TP8", "4TP2"):
+                plan = plan_reshard(CANONICAL_LAYOUTS[source], CANONICAL_LAYOUTS[destination])
+                naive_shards = sum(
+                    len(shards) for shards in CANONICAL_LAYOUTS[destination].gpu_shards()
+                )
+                rows.append((source, destination, plan.shards_moved, naive_shards))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — shards moved: matching planner vs naive reload")
+    total_plan = total_naive = 0
+    for source, destination, moved, naive in rows:
+        total_plan += moved
+        total_naive += naive
+        print(f"  {source:>5s} -> {destination:<5s}: {moved:2d} vs {naive:2d} eighths")
+    print(f"  total: {total_plan} vs {total_naive} ({1 - total_plan / total_naive:.0%} less data moved)")
+    assert total_plan < total_naive
+
+
+def test_fragmentation_handling_ablation(benchmark, bench_trace, bench_config):
+    """DynamoLLM with and without cross-pool fragmentation handling."""
+    no_fragmentation = PolicySpec(
+        name="Dynamo-NoFrag",
+        multi_pool=True,
+        scale_instances=True,
+        scale_sharding=True,
+        scale_frequency=True,
+        proactive_provisioning=True,
+        fragmentation_handling=False,
+        overhead_aware=True,
+        emergency_handling=True,
+    )
+    trace = bench_trace.slice(0.0, 600.0)
+
+    def run():
+        with_fragmentation = run_policy_on_trace(DYNAMO_LLM, trace, bench_config)
+        without_fragmentation = run_policy_on_trace(no_fragmentation, trace, bench_config)
+        return with_fragmentation, without_fragmentation
+
+    with_frag, without_frag = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — fragmentation handling")
+    print(
+        f"  with:    {with_frag.energy_kwh:.3f} kWh, {with_frag.average_servers:.1f} servers, "
+        f"SLO {with_frag.slo_attainment():.3f}"
+    )
+    print(
+        f"  without: {without_frag.energy_kwh:.3f} kWh, {without_frag.average_servers:.1f} servers, "
+        f"SLO {without_frag.slo_attainment():.3f}"
+    )
+    # Consolidating trickle pools must not use more servers than keeping them.
+    assert with_frag.average_servers <= without_frag.average_servers + 0.5

@@ -1,0 +1,70 @@
+"""Benchmarks regenerating Figures 14-16 and the cost analysis (Section V-D/E/F)."""
+
+from __future__ import annotations
+
+from repro.experiments.large_scale import (
+    cost_summary,
+    figure14_weekly_energy,
+    figure15_daily_energy,
+    figure16_carbon,
+)
+
+#: Week-long fluid runs at a scale that spans tens of servers at peak while
+#: keeping the benchmark runtime reasonable.
+RATE_SCALE = 25.0
+
+
+def test_figure14_weekly_energy(benchmark):
+    """Figure 14: normalised weekly energy for Conversation and Coding."""
+    result = benchmark.pedantic(
+        lambda: figure14_weekly_energy(rate_scale=RATE_SCALE), rounds=1, iterations=1
+    )
+    print("\nFigure 14 — normalised weekly energy")
+    for service, values in result.items():
+        rendered = ", ".join(f"{name}={value:.2f}" for name, value in values.items())
+        print(f"  {service}: {rendered}")
+    for service in result:
+        assert result[service]["DynamoLLM"] < 0.7
+    # Coding has deeper valleys, so DynamoLLM saves more there.
+    assert result["coding"]["DynamoLLM"] < result["conversation"]["DynamoLLM"]
+
+
+def test_figure15_daily_energy(benchmark):
+    """Figure 15: energy per 5-minute interval over a day."""
+    series = benchmark.pedantic(
+        lambda: figure15_daily_energy(rate_scale=RATE_SCALE), rounds=1, iterations=1
+    )
+    base_total = sum(value for _, value in series["SinglePool"])
+    dynamo_total = sum(value for _, value in series["DynamoLLM"])
+    print("\nFigure 15 — daily energy (kWh)")
+    print(f"  SinglePool: {base_total:.1f} kWh   DynamoLLM: {dynamo_total:.1f} kWh")
+    print(f"  daily saving: {1.0 - dynamo_total / base_total:.0%}")
+    assert dynamo_total < base_total
+    assert len(series["SinglePool"]) == len(series["DynamoLLM"]) == 288
+
+
+def test_figure16_carbon(benchmark):
+    """Figure 16: operational carbon emissions over the week."""
+    result = benchmark.pedantic(
+        lambda: figure16_carbon(rate_scale=RATE_SCALE), rounds=1, iterations=1
+    )
+    print("\nFigure 16 — weekly operational CO2")
+    for name, tonnes in result["weekly_tonnes"].items():
+        print(f"  {name}: {tonnes:.2f} t")
+    print(f"  saving: {result['saving_fraction']:.0%}")
+    assert result["weekly_tonnes"]["DynamoLLM"] < result["weekly_tonnes"]["SinglePool"]
+    assert result["saving_fraction"] > 0.2
+
+
+def test_cost_summary(benchmark):
+    """Section V-F: GPU and energy cost savings over the week."""
+    result = benchmark.pedantic(lambda: cost_summary(rate_scale=RATE_SCALE), rounds=1, iterations=1)
+    print("\nCost analysis (week, Conversation)")
+    print(
+        f"  servers: {result['baseline_avg_servers']:.1f} -> {result['dynamo_avg_servers']:.1f}   "
+        f"cost saving: {result['saving_fraction']:.0%}   "
+        f"GPU saving: ${result['gpu_saving_usd_per_hour']:.0f}/h   "
+        f"energy saving: ${result['energy_saving_usd_per_hour']:.2f}/h"
+    )
+    assert result["saving_fraction"] > 0.2
+    assert result["gpu_saving_usd_per_hour"] > result["energy_saving_usd_per_hour"]

@@ -1,0 +1,80 @@
+"""Benchmarks regenerating Figures 11-13: the sensitivity studies."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sensitivity import (
+    compare_levels,
+    figure11_predictor_accuracy,
+    figure12_load_levels,
+    figure13_pool_count,
+)
+from repro.workload.synthetic import make_one_hour_trace
+
+_SENS_TRACE = None
+
+
+def _sensitivity_trace():
+    global _SENS_TRACE
+    if _SENS_TRACE is None:
+        _SENS_TRACE = make_one_hour_trace("conversation", seed=7, rate_scale=8.0).slice(0.0, 600.0)
+    return _SENS_TRACE
+
+
+def test_figure11_predictor_accuracy(benchmark, profile):
+    """Figure 11: energy and TTFT vs output-length predictor accuracy."""
+    config = ExperimentConfig(profile=profile, max_servers=24)
+
+    def run():
+        return figure11_predictor_accuracy(
+            accuracies=(1.0, 0.8, 0.5), trace=_sensitivity_trace(), config=config
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFigure 11 — sensitivity to predictor accuracy")
+    for name, row in results.items():
+        print(
+            f"  {name:11s} energy={row['energy_kwh']:6.3f} kWh  "
+            f"p99 TTFT={row['p99_ttft_s']:5.2f} s  SLO={row['slo_attainment']:.3f}"
+        )
+    # Mis-predictions cost energy/latency only modestly (robustness claim).
+    assert results["Dyn-50%"]["energy_kwh"] < results["SinglePool"]["energy_kwh"]
+    assert results["Dyn-100%"]["energy_kwh"] <= results["Dyn-50%"]["energy_kwh"] * 1.3
+
+
+def test_figure12_load_levels(benchmark, profile):
+    """Figure 12: energy of the six systems under Poisson load levels."""
+    config = ExperimentConfig(profile=profile, max_servers=24)
+
+    def run():
+        return figure12_load_levels(
+            levels=("low", "medium", "high"), duration_s=600.0, config=config, load_multiplier=4.0
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    savings = compare_levels(results)
+    print("\nFigure 12 — energy (kWh) per load level")
+    for level, energies in results.items():
+        rendered = ", ".join(f"{name}={value:.2f}" for name, value in energies.items())
+        print(f"  {level:6s}: {rendered}")
+        print(f"          DynamoLLM saving vs SinglePool: {savings[level]['DynamoLLM']:.0%}")
+    # Savings shrink as the load grows (less SLO slack), but stay positive.
+    assert savings["low"]["DynamoLLM"] > savings["high"]["DynamoLLM"] > 0.0
+
+
+def test_figure13_pool_count(benchmark, profile):
+    """Figure 13: energy and TTFT vs the number of request pools."""
+    config = ExperimentConfig(profile=profile, max_servers=24)
+
+    def run():
+        return figure13_pool_count(pool_counts=(2, 4, 9), trace=_sensitivity_trace(), config=config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFigure 13 — sensitivity to the number of pools")
+    for count, row in results.items():
+        print(
+            f"  {count} pools: energy={row['energy_kwh']:6.3f} kWh  "
+            f"p99 TTFT={row['p99_ttft_s']:5.2f} s  SLO={row['slo_attainment']:.3f}"
+        )
+    assert set(results) == {2, 4, 9}
+    assert all(row["energy_kwh"] > 0 for row in results.values())

@@ -1,0 +1,82 @@
+"""Benchmarks regenerating the paper's Tables I-VI."""
+
+from __future__ import annotations
+
+from repro.experiments.characterization import (
+    format_heatmap,
+    table1_energy_heatmap,
+    table2_load_sweep,
+    table3_model_sweep,
+    table4_slo_table,
+)
+from repro.experiments.overheads import (
+    format_matrix,
+    table5_instance_creation,
+    table6_resharding_matrix,
+)
+
+
+def test_table1_energy_heatmap(benchmark):
+    """Table I: energy per request type x TP x frequency (Llama2-70B, 2K TPS)."""
+    rows = benchmark(table1_energy_heatmap)
+    print("\nTable I — energy (Wh/request), '--' = SLO violated")
+    for line in format_heatmap(rows):
+        print(line)
+    assert all(rows["LL"][f"TP2@{f}"] is None for f in (800, 1200, 1600, 1980))
+    assert rows["SS"]["TP2@1600"] is not None
+
+
+def test_table2_load_sweep(benchmark):
+    """Table II: energy for MM requests under low/medium/high load."""
+    rows = benchmark(table2_load_sweep)
+    print("\nTable II — MM requests across load levels")
+    for line in format_heatmap(rows):
+        print(line)
+    # Higher load shrinks the feasible region (the paper's key observation).
+    feasible = {
+        level: sum(1 for value in row.values() if value is not None)
+        for level, row in rows.items()
+    }
+    assert feasible["low"] > feasible["medium"] > feasible["high"]
+
+
+def test_table3_model_sweep(benchmark):
+    """Table III: energy for MM requests across the model catalog."""
+    rows = benchmark(table3_model_sweep)
+    print("\nTable III — MM requests across models")
+    for line in format_heatmap(rows):
+        print(line)
+    assert rows["Llama2-13B"]["TP2@1200"] is not None
+    assert all(rows["Falcon-180B"][f"TP2@{f}"] is None for f in (800, 1200, 1600, 1980))
+
+
+def test_table4_slo_table(benchmark):
+    """Table IV: classification thresholds and SLOs."""
+    table = benchmark(table4_slo_table)
+    print("\nTable IV — thresholds and SLOs")
+    for name, row in table.items():
+        print(
+            f"  {name}: input<{row['input_threshold']:.0f}, output<{row['output_threshold']:.0f}, "
+            f"TTFT {row['ttft_slo_s'] * 1000:.0f} ms, TBT {row['tbt_slo_s'] * 1000:.0f} ms"
+        )
+    assert table["SS"]["ttft_slo_s"] == 0.25
+
+
+def test_table5_instance_creation(benchmark):
+    """Table V: overheads of creating a new inference server."""
+    table = benchmark(table5_instance_creation)
+    print("\nTable V — instance-creation overheads (seconds)")
+    for path, breakdown in table.items():
+        print(f"  {path}: {breakdown}")
+    assert table["cold_boot"]["total"] > 300
+
+
+def test_table6_resharding_matrix(benchmark):
+    """Table VI: re-sharding transfer time between layouts (units of T)."""
+    matrix = benchmark(table6_resharding_matrix)
+    print("\nTable VI — re-sharding overheads (units of T)")
+    for line in format_matrix(matrix):
+        print(line)
+    print(f"  T = {matrix['_unit_T_s']['T'] * 1000:.1f} ms for Llama2-70B over NVLink")
+    assert matrix["TP4"]["TP8"] == 1
+    assert matrix["TP2"]["4TP2"] == 4

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Figures 1-3 (trace characterisation, overheads)."""
+
+from __future__ import annotations
+
+from repro.experiments.overheads import figure3_frequency_switch_throughput
+from repro.experiments.traces import figure1_request_mix, figure2_weekly_load, weekly_load_statistics
+
+
+def test_figure1_request_mix(benchmark):
+    """Figure 1: daily request-type distribution per service."""
+    mix = benchmark.pedantic(figure1_request_mix, rounds=1, iterations=1)
+    print("\nFigure 1 — request-type mix per day (fractions)")
+    for service, per_day in mix.items():
+        for day, fractions in per_day.items():
+            top = sorted(fractions.items(), key=lambda item: -item[1])[:3]
+            print(f"  {service:12s} {day}: " + ", ".join(f"{k}={v:.2f}" for k, v in top))
+    assert set(mix) == {"coding", "conversation"}
+
+
+def test_figure2_weekly_load(benchmark):
+    """Figure 2: normalised weekly load per service."""
+    series = benchmark.pedantic(figure2_weekly_load, rounds=1, iterations=1)
+    stats = weekly_load_statistics()
+    print("\nFigure 2 — weekly load statistics")
+    for service, values in stats.items():
+        print(
+            f"  {service}: peak/average {values['peak_over_average']:.1f}x, "
+            f"peak/valley {values['peak_over_valley']:.1f}x"
+        )
+    assert stats["coding"]["peak_over_valley"] > stats["conversation"]["peak_over_valley"]
+    assert all(len(points) == 168 for points in series.values())
+
+
+def test_figure3_frequency_switch_throughput(benchmark):
+    """Figure 3: throughput with constant vs per-iteration frequency setting."""
+    rows = benchmark(figure3_frequency_switch_throughput)
+    print("\nFigure 3 — throughput (requests/s) per request type")
+    for name, row in rows.items():
+        print(
+            f"  {name}: const={row['const_freq_rps']:.1f}  "
+            f"switch={row['switch_freq_rps']:.1f}  optimized={row['optimized_switch_rps']:.1f}"
+        )
+    assert all(row["switch_freq_rps"] < row["const_freq_rps"] for row in rows.values())

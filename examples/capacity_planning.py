@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning with energy-performance profiles (Tables I-III).
+
+Uses the analytical energy model directly — no cluster simulation — to
+answer the questions an operator would ask before deploying a service:
+
+* which (TP, frequency) configuration serves each request type with the
+  least energy at a given load (Table I),
+* how the answer changes with load (Table II),
+* and how it changes across models (Table III).
+
+Run with::
+
+    python examples/capacity_planning.py [--load 2000] [--model Llama2-70B]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import EnergyModel, get_model
+from repro.experiments.characterization import (
+    best_configs_summary,
+    format_heatmap,
+    table1_energy_heatmap,
+    table2_load_sweep,
+    table3_model_sweep,
+)
+from repro.workload.classification import REQUEST_TYPE_NAMES, RequestType
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--load", type=float, default=2000.0, help="prompt tokens per second")
+    parser.add_argument("--model", default="Llama2-70B")
+    args = parser.parse_args()
+
+    model = get_model(args.model)
+
+    print(f"== Table I: energy (Wh/request) for {model.name} at {args.load:.0f} TPS ==")
+    for line in format_heatmap(table1_energy_heatmap(model, args.load)):
+        print(line)
+
+    print("\n== Energy-optimal configuration per request type ==")
+    for type_name, config in best_configs_summary(model, args.load).items():
+        print(f"  {type_name}: {config or 'no feasible configuration'}")
+
+    print("\n== Table II: MM requests across load levels ==")
+    for line in format_heatmap(table2_load_sweep(model)):
+        print(line)
+
+    print("\n== Table III: MM requests across models ==")
+    for line in format_heatmap(table3_model_sweep()):
+        print(line)
+
+    print("\n== Maximum per-instance load (prompt TPS) meeting the SLO ==")
+    energy_model = EnergyModel(model)
+    header = f"{'type':6s}" + "".join(f"{f'TP{tp}':>12s}" for tp in (2, 4, 8))
+    print(header)
+    for type_name in REQUEST_TYPE_NAMES:
+        request_type = RequestType.from_name(type_name)
+        cells = []
+        for tp in (2, 4, 8):
+            from repro.perf import InstanceConfig
+
+            max_load = energy_model.max_load(request_type, InstanceConfig(tp, 1980))
+            cells.append(f"{max_load:12.0f}")
+        print(f"{type_name:6s}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

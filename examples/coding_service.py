@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Week-long study of the Coding service: all six systems (Figure 14).
+
+The Coding workload has deep night and weekend valleys (peak/valley of
+roughly 35x in the paper), which is where instance scaling pays off the
+most.  This example runs the week-long binned trace through the fluid
+simulator for every evaluated system and prints the normalised energy,
+average server count and number of reconfigurations.
+
+Run with::
+
+    python examples/coding_service.py [--rate-scale 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.fluid import FluidRunner
+from repro.experiments.large_scale import week_bins
+from repro.policies import ALL_POLICIES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate-scale", type=float, default=40.0)
+    args = parser.parse_args()
+
+    bins = week_bins("coding", rate_scale=args.rate_scale)
+    runner = FluidRunner()
+    results = runner.run_all(ALL_POLICIES, bins)
+    baseline_energy = results["SinglePool"].energy_wh
+
+    print("== Coding service, one week ==")
+    print(
+        f"{'policy':12s} {'energy kWh':>11s} {'normalized':>11s} "
+        f"{'avg servers':>12s} {'reconfigs':>10s}"
+    )
+    for name, result in results.items():
+        print(
+            f"{name:12s} {result.energy_kwh:11.1f} "
+            f"{result.energy_wh / baseline_energy:11.2f} "
+            f"{result.average_servers:12.1f} {result.reconfigurations:10d}"
+        )
+
+    dynamo = results["DynamoLLM"]
+    print(
+        f"\nDynamoLLM weekly saving vs SinglePool: "
+        f"{1.0 - dynamo.energy_wh / baseline_energy:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

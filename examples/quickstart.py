@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the six evaluated systems on a short trace.
+
+Generates a 10-minute slice of the synthetic Conversation trace, runs
+SinglePool, MultiPool, ScaleInst, ScaleShard, ScaleFreq and DynamoLLM on
+the cluster simulator, and prints energy, latency and SLO attainment —
+a miniature version of the paper's Figures 6 and 7.
+
+Run with::
+
+    python examples/quickstart.py [--duration 600] [--rate-scale 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import quick_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=600.0, help="trace length in seconds")
+    parser.add_argument("--rate-scale", type=float, default=10.0, help="load scale factor")
+    parser.add_argument("--service", default="conversation", choices=("conversation", "coding"))
+    args = parser.parse_args()
+
+    results = quick_comparison(
+        duration_s=args.duration, rate_scale=args.rate_scale, service=args.service
+    )
+    summaries = results["summaries"]
+    normalized = results["normalized_energy"]
+
+    header = (
+        f"{'policy':12s} {'energy kWh':>11s} {'vs base':>8s} {'avg srv':>8s} "
+        f"{'P50 TTFT':>9s} {'P99 TTFT':>9s} {'P99 TBT':>8s} {'SLO':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, summary in summaries.items():
+        table = summary.latency.percentile_table()
+        print(
+            f"{name:12s} {summary.energy_kwh:11.3f} {normalized[name]:8.2f} "
+            f"{summary.average_servers:8.2f} {table['ttft_s'][50]:9.3f} "
+            f"{table['ttft_s'][99]:9.3f} {table['tbt_s'][99]:8.3f} "
+            f"{summary.slo_attainment():6.3f}"
+        )
+
+    dynamo = summaries["DynamoLLM"]
+    baseline = summaries["SinglePool"]
+    saving = 1.0 - dynamo.energy_kwh / baseline.energy_kwh
+    print()
+    print(f"DynamoLLM saves {saving:.0%} energy vs SinglePool on this slice.")
+
+
+if __name__ == "__main__":
+    main()

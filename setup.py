@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 517 editable installs (``pip install -e .``)
+cannot build the editable wheel.  This shim lets ``python setup.py
+develop`` (or legacy ``pip install -e . --no-build-isolation``) install
+the package from ``pyproject.toml`` metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""DynamoLLM reproduction: energy-management for LLM inference clusters.
+
+This package reproduces *DynamoLLM: Designing LLM Inference Clusters for
+Performance and Energy Efficiency* (HPCA 2025) as a trace-driven
+simulation library:
+
+* :mod:`repro.llm` — model and GPU catalog;
+* :mod:`repro.perf` — analytical energy/latency models and profiles;
+* :mod:`repro.workload` — request classification, SLOs, traces, predictors;
+* :mod:`repro.cluster` — the discrete-time cluster simulator;
+* :mod:`repro.core` — the DynamoLLM controllers (the paper's contribution);
+* :mod:`repro.policies` — the six evaluated systems;
+* :mod:`repro.metrics` — energy, latency, power, carbon and cost accounting;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import quick_comparison
+    results = quick_comparison(duration_s=600)
+    print(results["normalized_energy"])
+"""
+
+from repro.llm import MODEL_CATALOG, get_model, LLAMA2_70B, H100, DGX_H100
+from repro.perf import EnergyModel, InstanceConfig, Profiler, EnergyPerformanceProfile
+from repro.perf.profiler import get_default_profile
+from repro.workload import (
+    Request,
+    classify_request,
+    DEFAULT_SLO_POLICY,
+    make_one_hour_trace,
+    make_day_trace,
+    make_week_trace,
+)
+from repro.cluster import GPUCluster, InferenceInstance
+from repro.core import DynamoLLM, ControllerKnobs, ControllerEpochs
+from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL, build_policy, get_policy_spec
+from repro.metrics import RunSummary, CarbonIntensityTrace, CostModel
+from repro.experiments import ExperimentConfig, run_policy_on_trace, run_all_policies, FluidRunner
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MODEL_CATALOG",
+    "get_model",
+    "LLAMA2_70B",
+    "H100",
+    "DGX_H100",
+    "EnergyModel",
+    "InstanceConfig",
+    "Profiler",
+    "EnergyPerformanceProfile",
+    "get_default_profile",
+    "Request",
+    "classify_request",
+    "DEFAULT_SLO_POLICY",
+    "make_one_hour_trace",
+    "make_day_trace",
+    "make_week_trace",
+    "GPUCluster",
+    "InferenceInstance",
+    "DynamoLLM",
+    "ControllerKnobs",
+    "ControllerEpochs",
+    "ALL_POLICIES",
+    "DYNAMO_LLM",
+    "SINGLE_POOL",
+    "build_policy",
+    "get_policy_spec",
+    "RunSummary",
+    "CarbonIntensityTrace",
+    "CostModel",
+    "ExperimentConfig",
+    "run_policy_on_trace",
+    "run_all_policies",
+    "FluidRunner",
+    "quick_comparison",
+]
+
+
+def quick_comparison(
+    duration_s: float = 600.0,
+    rate_scale: float = 10.0,
+    service: str = "conversation",
+    policies=None,
+):
+    """Run a short head-to-head comparison of the evaluated systems.
+
+    A convenience entry point for the README quickstart: generates a
+    short slice of the synthetic 1-hour trace, runs the selected
+    policies, and returns their summaries plus SinglePool-normalised
+    energy.
+    """
+    from repro.metrics.summary import compare_energy
+
+    trace = make_one_hour_trace(service, rate_scale=rate_scale)
+    if duration_s < trace.duration:
+        trace = trace.slice(0.0, duration_s)
+    summaries = run_all_policies(trace, policies or ALL_POLICIES, ExperimentConfig())
+    return {
+        "summaries": summaries,
+        "normalized_energy": compare_energy(summaries, baseline="SinglePool"),
+    }

@@ -1,0 +1,24 @@
+"""Discrete-time cluster simulator.
+
+This package is the substrate that replaces the paper's physical DGX
+H100 cluster: GPU servers, LLM inference instances with continuous
+batching, DVFS with switching overheads, and VM provisioning with the
+cold-start costs of Table V.  Controllers (in :mod:`repro.core`) operate
+on these objects exactly as they would drive real servers.
+"""
+
+from repro.cluster.frequency import FrequencyController
+from repro.cluster.vm import VMProvisioner, ProvisioningRequest
+from repro.cluster.instance import InferenceInstance, RequestState
+from repro.cluster.server import Server
+from repro.cluster.cluster import GPUCluster
+
+__all__ = [
+    "FrequencyController",
+    "VMProvisioner",
+    "ProvisioningRequest",
+    "InferenceInstance",
+    "RequestState",
+    "Server",
+    "GPUCluster",
+]

@@ -1,0 +1,470 @@
+"""LLM inference instance simulator.
+
+An instance is a tensor-parallel group of GPUs serving one model with
+continuous batching (vLLM-style).  The simulator advances in discrete
+time steps; within a step it admits waiting requests into the running
+batch (subject to KV-cache capacity), interleaves prefill and decode
+work according to the analytical latency model, and accounts power and
+energy.  Sub-step interpolation gives requests millisecond-resolution
+TTFT/TBT even with one-second simulation steps.
+
+Reconfiguration hooks model the overheads of Section IV-C: re-sharding
+transfers and engine synchronisation make the instance degraded or
+offline for a while, and frequency switches cost a small slice of
+serving time unless the optimised switching path is enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.cluster.frequency import FrequencyController
+from repro.llm.catalog import ModelSpec
+from repro.llm.gpu import ServerSpec, DGX_H100
+from repro.perf.config import InstanceConfig
+from repro.perf.latency_model import LatencyModel, MAX_BATCH
+from repro.perf.power_model import PowerModel
+from repro.workload.classification import classify_request, equivalent_prompt_tokens
+from repro.workload.request import Request, RequestOutcome
+
+_INSTANCE_COUNTER = itertools.count()
+
+
+@dataclass
+class RequestState:
+    """Mutable execution state of one request inside an instance."""
+
+    request: Request
+    enqueue_time: float
+    admitted_time: Optional[float] = None
+    remaining_prefill: int = field(init=False)
+    generated_tokens: int = 0
+    first_token_time: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.remaining_prefill = self.request.input_tokens
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.remaining_prefill <= 0
+
+    @property
+    def done(self) -> bool:
+        return self.prefill_done and self.generated_tokens >= self.request.output_tokens
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens currently resident in the KV cache for this request."""
+        consumed_prefill = self.request.input_tokens - self.remaining_prefill
+        return consumed_prefill + self.generated_tokens
+
+
+@dataclass
+class StepStats:
+    """Per-step accounting emitted by :meth:`InferenceInstance.step`."""
+
+    time: float
+    duration: float
+    power_watts: float
+    energy_wh: float
+    prefill_tokens: int
+    decode_tokens: int
+    batch_size: int
+    queue_length: int
+    frequency_mhz: int
+    energy_by_type_wh: Dict[str, float] = field(default_factory=dict)
+
+
+class InferenceInstance:
+    """A tensor-parallel model instance with continuous batching."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        tensor_parallelism: int,
+        pool: str = "default",
+        request_type: str = "MM",
+        server: ServerSpec = DGX_H100,
+        frequency_mhz: Optional[int] = None,
+        optimized_frequency_switching: bool = True,
+        instance_id: Optional[str] = None,
+    ) -> None:
+        self.instance_id = instance_id or f"inst-{next(_INSTANCE_COUNTER)}"
+        self.model = model
+        self.server = server
+        self.pool = pool
+        self.request_type = request_type
+        self.tensor_parallelism = tensor_parallelism
+        self.latency = LatencyModel(model, server)
+        self.power_model = PowerModel(server)
+        self.frequency = FrequencyController(
+            gpu=server.gpu,
+            initial_frequency_mhz=frequency_mhz or server.gpu.max_frequency_mhz,
+            optimized=optimized_frequency_switching,
+        )
+        self.waiting: Deque[RequestState] = deque()
+        self.running: List[RequestState] = []
+        self.completed: List[RequestOutcome] = []
+        self.total_energy_wh = 0.0
+        self.energy_by_type_wh: Dict[str, float] = {}
+        self.offline_until = 0.0
+        self.degraded_until = 0.0
+        self.degraded_factor = 1.0
+        self.accepting = True
+        self._decode_carry = 0.0
+        self._load_ema_tps = 0.0
+        self._arrived_tokens_step = 0
+        self._step_history: List[StepStats] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> InstanceConfig:
+        return InstanceConfig(self.tensor_parallelism, self.frequency.current_frequency_mhz)
+
+    @property
+    def gpu_count(self) -> int:
+        return self.tensor_parallelism
+
+    def set_frequency(self, frequency_mhz: int, now: float = 0.0) -> bool:
+        """Change the GPU frequency (pays the switching overhead)."""
+        return self.frequency.set_frequency(frequency_mhz, now)
+
+    def begin_resharding(
+        self,
+        new_tensor_parallelism: int,
+        now: float,
+        transfer_time_s: float,
+        sync_time_s: float,
+        requires_downtime: bool,
+    ) -> None:
+        """Start a re-sharding operation decided by the pool manager.
+
+        During the weight transfer the instance keeps serving at reduced
+        throughput; during the engine synchronisation it is either fully
+        offline (when memory does not allow the old and new engines to
+        coexist) or continues serving on the old configuration.
+        """
+        self.tensor_parallelism = new_tensor_parallelism
+        self.degraded_until = max(self.degraded_until, now + transfer_time_s)
+        self.degraded_factor = 0.7
+        if requires_downtime:
+            self.offline_until = max(self.offline_until, now + transfer_time_s + sync_time_s)
+        else:
+            # Seamless switch-over: only the transfer degradation applies.
+            self.degraded_until = max(self.degraded_until, now + transfer_time_s + sync_time_s)
+
+    def mark_offline(self, until: float) -> None:
+        self.offline_until = max(self.offline_until, until)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request, now: float) -> RequestState:
+        """Add a request to the instance's waiting queue."""
+        state = RequestState(request=request, enqueue_time=now)
+        self.waiting.append(state)
+        self._arrived_tokens_step += self._equivalent_tokens(request)
+        return state
+
+    def _equivalent_tokens(self, request: Request) -> float:
+        """Prompt tokens converted to this instance's governing-type units."""
+        actual = classify_request(request).name
+        return equivalent_prompt_tokens(request.input_tokens, actual, self.request_type)
+
+    def steal_waiting(self, count: int) -> List[RequestState]:
+        """Remove up to ``count`` not-yet-started requests (for re-steering)."""
+        stolen: List[RequestState] = []
+        while self.waiting and len(stolen) < count:
+            stolen.append(self.waiting.pop())
+        return stolen
+
+    def adopt(self, states: List[RequestState], now: float) -> None:
+        """Accept request states re-steered from another instance."""
+        for state in states:
+            self.waiting.append(state)
+            self._arrived_tokens_step += self._equivalent_tokens(state.request)
+
+    def squash_stale(self, now: float, wait_threshold_s: float) -> List[RequestOutcome]:
+        """Drop waiting requests that exceeded the squash threshold."""
+        kept: Deque[RequestState] = deque()
+        squashed: List[RequestOutcome] = []
+        for state in self.waiting:
+            if now - state.enqueue_time > wait_threshold_s:
+                squashed.append(
+                    RequestOutcome(
+                        request=state.request,
+                        pool=self.pool,
+                        instance_id=self.instance_id,
+                        start_time=state.enqueue_time,
+                        first_token_time=now,
+                        completion_time=now,
+                        squashed=True,
+                    )
+                )
+            else:
+                kept.append(state)
+        self.waiting = kept
+        self.completed.extend(squashed)
+        return squashed
+
+    def reorder_queue_by_deadline(self, slo_lookup) -> None:
+        """Earliest-deadline-first reordering of the waiting queue.
+
+        ``slo_lookup`` maps a request to its TTFT SLO in seconds.
+        """
+        ordered = sorted(
+            self.waiting, key=lambda s: s.enqueue_time + slo_lookup(s.request)
+        )
+        self.waiting = deque(ordered)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the controllers
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.running)
+
+    @property
+    def active_requests(self) -> int:
+        return len(self.waiting) + len(self.running)
+
+    @property
+    def kv_tokens_used(self) -> int:
+        return sum(state.context_tokens for state in self.running)
+
+    @property
+    def kv_capacity(self) -> float:
+        return self.latency.kv_capacity_tokens(self.config)
+
+    @property
+    def load_estimate_tps(self) -> float:
+        """Exponentially-smoothed offered prompt-token load (tokens/s)."""
+        return self._load_ema_tps
+
+    def oldest_wait_s(self, now: float) -> float:
+        if not self.waiting:
+            return 0.0
+        return now - min(state.enqueue_time for state in self.waiting)
+
+    def is_offline(self, now: float) -> bool:
+        return now < self.offline_until
+
+    def drain_completed(self) -> List[RequestOutcome]:
+        outcomes = self.completed
+        self.completed = []
+        return outcomes
+
+    @property
+    def step_history(self) -> List[StepStats]:
+        return self._step_history
+
+    # ------------------------------------------------------------------
+    # Simulation step
+    # ------------------------------------------------------------------
+    def step(self, now: float, dt: float) -> StepStats:
+        """Advance the instance by ``dt`` seconds starting at ``now``."""
+        config = self.config
+        available = dt
+
+        # Downtime from reconfiguration.
+        if now < self.offline_until:
+            overlap = min(self.offline_until, now + dt) - now
+            available -= overlap
+        # Throughput degradation while weights are being transferred.
+        if available > 0 and now < self.degraded_until:
+            degraded_overlap = min(self.degraded_until, now + dt) - max(now, self.offline_until)
+            if degraded_overlap > 0:
+                available -= degraded_overlap * (1.0 - self.degraded_factor)
+        # Frequency-switch penalties.
+        available = self.frequency.consume_penalty(max(0.0, available))
+
+        prefill_tokens = 0
+        decode_tokens = 0
+        tokens_by_type: Dict[str, int] = {}
+        cursor = now + (dt - available)
+
+        if available > 0:
+            self._admit(now)
+            prefill_tokens, cursor = self._run_prefill(config, available, cursor, tokens_by_type)
+            decode_time = max(0.0, available - (prefill_tokens / max(1.0, self.latency.prefill_rate(config))))
+            decode_tokens = self._run_decode(config, decode_time, now, dt, tokens_by_type)
+            self._finish_completed(now, dt)
+
+        # Power/energy accounting.
+        busy_prefill = (
+            prefill_tokens / self.latency.prefill_rate(config) / dt if dt > 0 else 0.0
+        )
+        batch = max(1, len(self.running)) if decode_tokens > 0 else len(self.running)
+        decode_power_factor = 0.35 + 0.55 * min(1.0, batch / 64.0)
+        decode_busy = 0.0
+        if decode_tokens > 0 and dt > 0:
+            iteration = self.latency.iteration_time(config, batch, self._average_context())
+            decode_busy = min(1.0, decode_tokens / max(1, batch) * iteration / dt)
+        activity = min(1.0, busy_prefill + decode_busy * decode_power_factor)
+        power = self.power_model.instance_power(
+            config.tp, config.frequency_mhz, activity
+        )
+        energy_wh = power * dt / 3600.0
+        self.total_energy_wh += energy_wh
+
+        energy_by_type = self._attribute_energy(energy_wh, tokens_by_type)
+        for type_name, value in energy_by_type.items():
+            self.energy_by_type_wh[type_name] = (
+                self.energy_by_type_wh.get(type_name, 0.0) + value
+            )
+
+        # Load EMA update (per-step arrivals, in governing-type units).
+        instant_tps = self._arrived_tokens_step / dt if dt > 0 else 0.0
+        alpha = min(1.0, dt / 30.0)
+        self._load_ema_tps = (1 - alpha) * self._load_ema_tps + alpha * instant_tps
+        self._arrived_tokens_step = 0
+
+        stats = StepStats(
+            time=now,
+            duration=dt,
+            power_watts=power,
+            energy_wh=energy_wh,
+            prefill_tokens=prefill_tokens,
+            decode_tokens=decode_tokens,
+            batch_size=len(self.running),
+            queue_length=len(self.waiting),
+            frequency_mhz=config.frequency_mhz,
+            energy_by_type_wh=energy_by_type,
+        )
+        self._step_history.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Step internals
+    # ------------------------------------------------------------------
+    def _admit(self, now: float) -> None:
+        capacity = self.kv_capacity
+        # Reserve KV space for admitted requests up front (their prompts will
+        # occupy the cache as soon as they are prefetched), so admission does
+        # not overshoot the cache just because prefill has not run yet.
+        reserved = sum(
+            max(state.context_tokens, state.request.input_tokens) for state in self.running
+        )
+        while self.waiting and len(self.running) < MAX_BATCH:
+            candidate = self.waiting[0]
+            projected = reserved + candidate.request.input_tokens
+            if projected > capacity and self.running:
+                break
+            state = self.waiting.popleft()
+            state.admitted_time = now
+            reserved += state.request.input_tokens
+            self.running.append(state)
+
+    def _run_prefill(
+        self,
+        config: InstanceConfig,
+        available: float,
+        cursor: float,
+        tokens_by_type: Dict[str, int],
+    ) -> tuple:
+        rate = self.latency.prefill_rate(config)
+        pending = [state for state in self.running if not state.prefill_done]
+        if not pending:
+            return 0, cursor
+        decoding = any(state.prefill_done for state in self.running)
+        # Cap prefill at 60% of the step when decodes are in flight so that
+        # decode progress (TBT) is not starved by long prompts.
+        budget_s = available * (0.6 if decoding else 1.0)
+        budget_tokens = int(budget_s * rate)
+        processed = 0
+        for state in pending:
+            if budget_tokens <= 0:
+                break
+            chunk = min(state.remaining_prefill, budget_tokens)
+            state.remaining_prefill -= chunk
+            budget_tokens -= chunk
+            processed += chunk
+            cursor += chunk / rate
+            if state.prefill_done and state.first_token_time is None:
+                # A request can never see its first token earlier than its
+                # arrival plus the isolated prefill latency (requests routed
+                # mid-step would otherwise appear to finish before arriving).
+                isolated = self.latency.prefill_time(config, state.request.input_tokens)
+                state.first_token_time = max(
+                    cursor, state.request.arrival_time + isolated
+                )
+            type_name = classify_request(state.request).name
+            tokens_by_type[type_name] = tokens_by_type.get(type_name, 0) + chunk
+        return processed, cursor
+
+    def _run_decode(
+        self,
+        config: InstanceConfig,
+        decode_time: float,
+        now: float,
+        dt: float,
+        tokens_by_type: Dict[str, int],
+    ) -> int:
+        decoders = [state for state in self.running if state.prefill_done and not state.done]
+        if not decoders or decode_time <= 0:
+            return 0
+        batch = len(decoders)
+        iteration = self.latency.iteration_time(config, batch, self._average_context())
+        iterations = decode_time / iteration + self._decode_carry
+        whole_iterations = int(iterations)
+        self._decode_carry = iterations - whole_iterations
+        if whole_iterations <= 0:
+            return 0
+        produced = 0
+        for state in decoders:
+            remaining = state.request.output_tokens - state.generated_tokens
+            tokens = min(remaining, whole_iterations)
+            if tokens <= 0:
+                continue
+            state.generated_tokens += tokens
+            produced += tokens
+            type_name = classify_request(state.request).name
+            tokens_by_type[type_name] = tokens_by_type.get(type_name, 0) + tokens
+        return produced
+
+    def _finish_completed(self, now: float, dt: float) -> None:
+        still_running: List[RequestState] = []
+        for state in self.running:
+            if state.done:
+                first_token = state.first_token_time if state.first_token_time is not None else now + dt
+                self.completed.append(
+                    RequestOutcome(
+                        request=state.request,
+                        pool=self.pool,
+                        instance_id=self.instance_id,
+                        start_time=state.enqueue_time,
+                        first_token_time=first_token,
+                        completion_time=now + dt,
+                    )
+                )
+            else:
+                still_running.append(state)
+        self.running = still_running
+
+    def _average_context(self) -> float:
+        if not self.running:
+            return 1.0
+        return max(1.0, self.kv_tokens_used / len(self.running))
+
+    def _attribute_energy(
+        self, energy_wh: float, tokens_by_type: Dict[str, int]
+    ) -> Dict[str, float]:
+        """Attribute the step's energy to request types by processed tokens."""
+        total_tokens = sum(tokens_by_type.values())
+        if total_tokens <= 0:
+            # Idle energy goes to the instance's nominal request type.
+            return {self.request_type: energy_wh}
+        return {
+            type_name: energy_wh * count / total_tokens
+            for type_name, count in tokens_by_type.items()
+        }

@@ -1,0 +1,105 @@
+"""GPU server abstraction: GPU slots, instance placement, idle power."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.instance import InferenceInstance
+from repro.llm.gpu import ServerSpec, DGX_H100
+
+_SERVER_COUNTER = itertools.count()
+
+
+@dataclass
+class Server:
+    """One inference server (e.g. a DGX with 8 H100s).
+
+    The server tracks which of its GPU slots are assigned to which
+    instance so that tensor-parallel groups never span servers and the
+    cluster can account idle power for unassigned GPUs on powered-on
+    servers.
+    """
+
+    spec: ServerSpec = DGX_H100
+    server_id: str = field(default_factory=lambda: f"server-{next(_SERVER_COUNTER)}")
+    online: bool = True
+    _slots: Dict[int, Optional[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._slots = {index: None for index in range(self.spec.gpus_per_server)}
+
+    # ------------------------------------------------------------------
+    @property
+    def total_gpus(self) -> int:
+        return self.spec.gpus_per_server
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(1 for owner in self._slots.values() if owner is None)
+
+    @property
+    def used_gpus(self) -> int:
+        return self.total_gpus - self.free_gpus
+
+    def instances_hosted(self) -> List[str]:
+        return sorted({owner for owner in self._slots.values() if owner is not None})
+
+    def can_host(self, gpu_count: int) -> bool:
+        return self.online and self.free_gpus >= gpu_count
+
+    def allocate(self, instance: InferenceInstance) -> List[int]:
+        """Assign GPU slots to an instance; returns the slot indices."""
+        needed = instance.gpu_count
+        if not self.can_host(needed):
+            raise ValueError(
+                f"server {self.server_id} cannot host {needed} GPUs "
+                f"(free: {self.free_gpus}, online: {self.online})"
+            )
+        assigned: List[int] = []
+        for index, owner in self._slots.items():
+            if owner is None:
+                self._slots[index] = instance.instance_id
+                assigned.append(index)
+                if len(assigned) == needed:
+                    break
+        return assigned
+
+    def release(self, instance_id: str) -> int:
+        """Free all slots owned by an instance; returns how many were freed."""
+        freed = 0
+        for index, owner in self._slots.items():
+            if owner == instance_id:
+                self._slots[index] = None
+                freed += 1
+        return freed
+
+    def resize_allocation(self, instance_id: str, new_gpu_count: int) -> None:
+        """Adjust the number of slots held by an instance (re-sharding)."""
+        current = [index for index, owner in self._slots.items() if owner == instance_id]
+        if new_gpu_count < len(current):
+            for index in current[new_gpu_count:]:
+                self._slots[index] = None
+        elif new_gpu_count > len(current):
+            additional = new_gpu_count - len(current)
+            free = [index for index, owner in self._slots.items() if owner is None]
+            if len(free) < additional:
+                raise ValueError(
+                    f"server {self.server_id} lacks {additional} free GPUs to grow "
+                    f"instance {instance_id}"
+                )
+            for index in free[:additional]:
+                self._slots[index] = instance_id
+
+    def idle_gpu_power(self) -> float:
+        """Idle power of unassigned GPUs (with their host share), when powered on.
+
+        The host power of *assigned* GPUs is attributed to their instances
+        by :class:`repro.perf.power_model.PowerModel`, so only the free
+        slots' share is accounted here to avoid double counting.
+        """
+        if not self.online:
+            return 0.0
+        per_gpu_host_share = self.spec.host_idle_watts / self.spec.gpus_per_server
+        return self.free_gpus * (self.spec.gpu.idle_watts + per_gpu_host_share)

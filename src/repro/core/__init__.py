@@ -1,0 +1,51 @@
+"""DynamoLLM core: the energy-management framework itself.
+
+The hierarchy of controllers (cluster / pool / instance), the
+energy-optimisation problem and its hierarchical decomposition, the
+re-sharding planner with minimal weight movement, the reconfiguration
+overhead accounting, and the emergency handling for mis-predictions.
+"""
+
+from repro.core.resharding import (
+    ShardLayout,
+    ReshardPlan,
+    plan_reshard,
+    reshard_time_units,
+    requires_downtime,
+    overhead_matrix,
+    CANONICAL_LAYOUTS,
+)
+from repro.core.overheads import OverheadModel
+from repro.core.optimizer import (
+    InstanceAllocation,
+    ShardingPlan,
+    plan_sharding,
+    plan_global,
+)
+from repro.core.pools import PoolState
+from repro.core.cluster_manager import ClusterManager
+from repro.core.pool_manager import PoolManager
+from repro.core.instance_manager import InstanceManager
+from repro.core.framework import DynamoLLM, ControllerKnobs, ControllerEpochs
+
+__all__ = [
+    "ShardLayout",
+    "ReshardPlan",
+    "plan_reshard",
+    "reshard_time_units",
+    "requires_downtime",
+    "overhead_matrix",
+    "CANONICAL_LAYOUTS",
+    "OverheadModel",
+    "InstanceAllocation",
+    "ShardingPlan",
+    "plan_sharding",
+    "plan_global",
+    "PoolState",
+    "ClusterManager",
+    "PoolManager",
+    "InstanceManager",
+    "DynamoLLM",
+    "ControllerKnobs",
+    "ControllerEpochs",
+]

@@ -1,0 +1,181 @@
+"""Instance manager: frequency scaling and emergency handling.
+
+The lowest level of the controller hierarchy runs every few seconds.
+For each instance it filters out the GPU frequencies that would violate
+the SLO at the instance's current load and picks the one that minimises
+energy (Section IV-B, "Scale-up/down").
+
+It also reacts to mis-predictions (Section IV-D): when an instance's
+queue builds up it (1) reorders the queue earliest-deadline-first,
+(2) ramps the GPU frequency to the maximum, (3) re-steers waiting
+requests to a sibling instance, and (4) as a last resort squashes
+requests that waited beyond a threshold so the frontend can retry them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.instance import InferenceInstance
+from repro.core.pool_manager import PoolManager
+from repro.perf.profile import EnergyPerformanceProfile
+from repro.sim.events import EventLog
+from repro.workload.classification import classify_request
+from repro.workload.request import Request
+from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+
+
+@dataclass
+class InstanceManager:
+    """Frequency tuning and emergency handling for one pool's instances."""
+
+    pool_manager: PoolManager
+    profile: EnergyPerformanceProfile
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY
+    events: EventLog = field(default_factory=EventLog)
+    scale_frequency: bool = True
+    emergency_enabled: bool = True
+    #: Queue length that triggers the emergency escalation.
+    emergency_queue_threshold: int = 8
+    #: Waiting time (relative to the TTFT SLO) that triggers escalation.
+    emergency_wait_factor: float = 0.75
+    #: Waiting time (seconds) beyond which requests are squashed.
+    squash_wait_s: float = 30.0
+    #: Headroom applied to the instance load when picking a frequency.
+    frequency_headroom: float = 1.3
+    _squashed_count: int = field(default=0, init=False)
+
+    @property
+    def pool_name(self) -> str:
+        return self.pool_manager.pool.name
+
+    @property
+    def governing_type(self) -> str:
+        return self.pool_manager.pool.governing_type
+
+    @property
+    def squashed_count(self) -> int:
+        return self._squashed_count
+
+    # ------------------------------------------------------------------
+    # Frequency epoch
+    # ------------------------------------------------------------------
+    def frequency_epoch(self, now: float) -> Dict[str, int]:
+        """Re-tune the frequency of every instance in the pool.
+
+        Returns the frequency chosen per instance id.
+        """
+        chosen: Dict[str, int] = {}
+        for instance in self.pool_manager.instances():
+            if self.emergency_enabled and self._check_emergency(instance, now):
+                chosen[instance.instance_id] = instance.frequency.current_frequency_mhz
+                continue
+            if not self.scale_frequency:
+                continue
+            frequency = self._best_frequency(instance)
+            if frequency is not None:
+                changed = instance.set_frequency(frequency, now)
+                if changed:
+                    self.events.emit(
+                        now,
+                        "freq_change",
+                        f"instance:{instance.instance_id}",
+                        frequency_mhz=frequency,
+                        pool=self.pool_name,
+                    )
+            chosen[instance.instance_id] = instance.frequency.current_frequency_mhz
+        return chosen
+
+    def _best_frequency(self, instance: InferenceInstance) -> Optional[int]:
+        load = instance.load_estimate_tps
+        # Keep headroom so small load upticks between frequency epochs do not
+        # immediately violate the SLO.
+        load_with_headroom = load * self.frequency_headroom
+        try:
+            return self.profile.best_frequency(
+                self.governing_type, instance.tensor_parallelism, load_with_headroom
+            )
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Emergency handling
+    # ------------------------------------------------------------------
+    def _ttft_slo(self, request: Request) -> float:
+        request_type = classify_request(request)
+        return self.slo_policy.ttft_slo(request_type) * max(1.0, request.slo_scale)
+
+    def _check_emergency(self, instance: InferenceInstance, now: float) -> bool:
+        """Detect and react to a building backlog; returns True if triggered."""
+        oldest_wait = instance.oldest_wait_s(now)
+        queue_length = instance.queue_length
+        if queue_length < self.emergency_queue_threshold and oldest_wait <= 0.0:
+            return False
+        threshold = 0.5 * self._typical_ttft_slo()
+        if queue_length < self.emergency_queue_threshold and oldest_wait < threshold:
+            return False
+
+        # Step 1: earliest-deadline-first reordering.
+        instance.reorder_queue_by_deadline(self._ttft_slo)
+
+        # Step 2: boost the GPU frequency to the maximum.
+        max_frequency = instance.frequency.gpu.max_frequency_mhz
+        instance.set_frequency(max_frequency, now)
+
+        # Step 3: re-steer waiting requests to a sibling instance.
+        if oldest_wait > self.emergency_wait_factor * self._typical_ttft_slo():
+            self._resteer(instance, now)
+
+        # Step 4: squash requests that waited far too long.
+        if oldest_wait > self.squash_wait_s:
+            squashed = instance.squash_stale(now, self.squash_wait_s)
+            self._squashed_count += len(squashed)
+            if squashed:
+                self.events.emit(
+                    now,
+                    "squash",
+                    f"instance:{instance.instance_id}",
+                    count=len(squashed),
+                    pool=self.pool_name,
+                )
+
+        self.events.emit(
+            now,
+            "emergency",
+            f"instance:{instance.instance_id}",
+            queue_length=queue_length,
+            oldest_wait_s=oldest_wait,
+            pool=self.pool_name,
+        )
+        return True
+
+    def _typical_ttft_slo(self) -> float:
+        from repro.workload.classification import RequestType
+
+        return self.slo_policy.ttft_slo(RequestType.from_name(self.governing_type))
+
+    def _resteer(self, instance: InferenceInstance, now: float) -> int:
+        """Move half of the waiting queue to the least-loaded sibling."""
+        siblings: List[InferenceInstance] = [
+            other
+            for other in self.pool_manager.instances()
+            if other.instance_id != instance.instance_id and not other.is_offline(now)
+        ]
+        if not siblings:
+            return 0
+        target = min(siblings, key=lambda i: (i.queue_length, i.load_estimate_tps))
+        if target.queue_length >= instance.queue_length:
+            return 0
+        to_move = instance.steal_waiting(max(1, instance.queue_length // 2))
+        target.adopt(to_move, now)
+        if to_move:
+            self.events.emit(
+                now,
+                "resteer",
+                f"instance:{instance.instance_id}",
+                moved=len(to_move),
+                target=target.instance_id,
+                pool=self.pool_name,
+            )
+        return len(to_move)

@@ -1,0 +1,128 @@
+"""Reconfiguration overhead accounting (the Overhead Table of Section IV-B).
+
+DynamoLLM stores the cost of every transition — scale-out/in,
+shard-up/down, frequency change — and the controllers consult it before
+reconfiguring: a change only happens when the expected energy saving
+over the next epoch outweighs the energy and downtime cost of making
+the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cluster.frequency import (
+    DEFAULT_SWITCH_OVERHEAD_S,
+    OPTIMIZED_SWITCH_OVERHEAD_S,
+)
+from repro.cluster.vm import cold_boot_time_s, warm_boot_time_s
+from repro.core.resharding import (
+    requires_downtime,
+    reshard_time_units,
+    shard_transfer_unit_s,
+    ShardLayout,
+)
+from repro.llm.catalog import ModelSpec
+from repro.llm.gpu import ServerSpec, DGX_H100
+from repro.perf.power_model import PowerModel
+
+
+#: Engine synchronisation time after weights land on the new GPU set;
+#: state-of-the-art engines take a few hundred ms to a few seconds.
+ENGINE_SYNC_S = 1.5
+
+
+@dataclass
+class OverheadModel:
+    """Costs of the three reconfiguration operations for one model."""
+
+    model: ModelSpec
+    server: ServerSpec = DGX_H100
+    optimized_frequency_switching: bool = True
+    optimized_scale_out: bool = True
+    engine_sync_s: float = ENGINE_SYNC_S
+    _power: PowerModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._power = PowerModel(self.server)
+
+    # ------------------------------------------------------------------
+    # Scale-out / scale-in
+    # ------------------------------------------------------------------
+    def scale_out_time_s(self) -> float:
+        """Time before a newly requested server can serve requests."""
+        return warm_boot_time_s() if self.optimized_scale_out else cold_boot_time_s()
+
+    # ------------------------------------------------------------------
+    # Shard-up / shard-down
+    # ------------------------------------------------------------------
+    def reshard_transfer_time_s(self, source_tp: int, destination_tp: int) -> float:
+        """NVLink transfer time for re-sharding a single instance."""
+        units = reshard_time_units(
+            ShardLayout((source_tp,)), ShardLayout((destination_tp,))
+        )
+        return units * shard_transfer_unit_s(self.model, self.server.gpu)
+
+    def reshard_requires_downtime(self, source_tp: int, destination_tp: int) -> bool:
+        return requires_downtime(source_tp, destination_tp, self.model, self.server)
+
+    def reshard_total_time_s(self, source_tp: int, destination_tp: int) -> float:
+        """Transfer plus engine synchronisation."""
+        return self.reshard_transfer_time_s(source_tp, destination_tp) + self.engine_sync_s
+
+    def reshard_energy_wh(self, source_tp: int, destination_tp: int) -> float:
+        """Energy burned by the instance while reconfiguring.
+
+        During the transfer and synchronisation the involved GPUs are
+        powered (moving weights, re-initialising) but serve little or no
+        load; we charge them at a moderate activity level.
+        """
+        duration = self.reshard_total_time_s(source_tp, destination_tp)
+        gpus = max(source_tp, destination_tp)
+        power = self._power.instance_power(
+            gpus, self.server.gpu.max_frequency_mhz, activity=0.3
+        )
+        return power * duration / 3600.0
+
+    # ------------------------------------------------------------------
+    # Frequency scaling
+    # ------------------------------------------------------------------
+    def frequency_switch_time_s(self) -> float:
+        return (
+            OPTIMIZED_SWITCH_OVERHEAD_S
+            if self.optimized_frequency_switching
+            else DEFAULT_SWITCH_OVERHEAD_S
+        )
+
+    # ------------------------------------------------------------------
+    # Decision helper
+    # ------------------------------------------------------------------
+    def reshard_is_worth_it(
+        self,
+        source_tp: int,
+        destination_tp: int,
+        power_saving_watts: float,
+        horizon_s: float,
+    ) -> bool:
+        """Whether a re-shard pays for itself within the next epoch.
+
+        ``power_saving_watts`` is the expected steady-state power
+        reduction of the new configuration; ``horizon_s`` is the time the
+        new configuration is expected to stay in place (the pool-manager
+        epoch).
+        """
+        if power_saving_watts <= 0:
+            return False
+        saving_wh = power_saving_watts * horizon_s / 3600.0
+        cost_wh = self.reshard_energy_wh(source_tp, destination_tp)
+        return saving_wh > cost_wh
+
+    def as_table(self) -> Dict[str, float]:
+        """Human-readable summary of the main overheads (seconds)."""
+        return {
+            "scale_out_s": self.scale_out_time_s(),
+            "engine_sync_s": self.engine_sync_s,
+            "frequency_switch_s": self.frequency_switch_time_s(),
+            "shard_unit_T_s": shard_transfer_unit_s(self.model, self.server.gpu),
+        }

@@ -1,0 +1,225 @@
+"""Re-sharding planner: minimal weight movement between TP layouts.
+
+Changing an instance's tensor parallelism requires re-distributing the
+model weights across GPUs.  DynamoLLM minimises the transferred data by
+(1) solving a maximum-weight bipartite matching between the GPUs of the
+current layout and the logical roles of the target layout, so that as
+many weight shards as possible stay where they already are, and (2)
+moving the remaining shards over direct NVLink links in parallel
+(Section IV-C, Figure 5, Table VI).
+
+The model is treated as eight equal shards (eighths) W0..W7; a TP-k GPU
+role holds ``8/k`` consecutive eighths.  The re-sharding time is the
+maximum number of eighths moved over any single (source, destination)
+GPU pair, in units of ``T`` — the time to move one eighth over NVLink —
+because transfers between distinct GPU pairs proceed in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.llm.catalog import ModelSpec
+from repro.llm.gpu import GPUSpec, ServerSpec, DGX_H100
+
+#: Number of elementary weight shards the model is split into.
+N_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """A server-level sharding layout: the TP degree of each instance.
+
+    For example ``(4, 4)`` is two TP4 instances (the paper's "2TP4"),
+    ``(2,)`` is a single TP2 instance with six idle GPUs, ``(2, 4)`` is
+    the paper's "TP2+TP4".
+    """
+
+    instance_tps: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sum(self.instance_tps) > N_SHARDS:
+            raise ValueError(
+                f"layout {self.instance_tps} needs more than {N_SHARDS} GPUs"
+            )
+        for tp in self.instance_tps:
+            if tp not in (1, 2, 4, 8):
+                raise ValueError(f"unsupported tensor parallelism {tp}")
+
+    @property
+    def name(self) -> str:
+        counts: Dict[int, int] = {}
+        for tp in self.instance_tps:
+            counts[tp] = counts.get(tp, 0) + 1
+        parts = []
+        for tp in sorted(counts, reverse=True):
+            prefix = f"{counts[tp]}" if counts[tp] > 1 else ""
+            parts.append(f"{prefix}TP{tp}")
+        return "+".join(parts) if parts else "idle"
+
+    @property
+    def gpus_used(self) -> int:
+        return sum(self.instance_tps)
+
+    def gpu_shards(self) -> List[FrozenSet[int]]:
+        """Shard set held by each of the 8 physical GPU slots.
+
+        Instances are laid out left to right; GPUs not backing any
+        instance hold nothing.
+        """
+        shards: List[FrozenSet[int]] = []
+        for tp in self.instance_tps:
+            per_gpu = N_SHARDS // tp
+            for rank in range(tp):
+                start = rank * per_gpu
+                shards.append(frozenset(range(start, start + per_gpu)))
+        while len(shards) < N_SHARDS:
+            shards.append(frozenset())
+        return shards
+
+
+#: The layouts of the paper's Table VI overhead matrix.
+CANONICAL_LAYOUTS: Dict[str, ShardLayout] = {
+    "TP2": ShardLayout((2,)),
+    "4TP2": ShardLayout((2, 2, 2, 2)),
+    "TP4": ShardLayout((4,)),
+    "TP2+TP4": ShardLayout((2, 4)),
+    "2TP4": ShardLayout((4, 4)),
+    "TP8": ShardLayout((8,)),
+}
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """Output of the re-sharding planner."""
+
+    source: ShardLayout
+    destination: ShardLayout
+    #: (source GPU slot, destination GPU slot, shard ids) transfers.
+    transfers: Tuple[Tuple[int, int, FrozenSet[int]], ...]
+    #: Re-sharding time in units of T (time to move one eighth).
+    time_units: int
+    #: Total eighths moved (proportional to bytes over NVLink).
+    shards_moved: int
+
+    def transfer_time_s(self, model: ModelSpec, gpu: GPUSpec = DGX_H100.gpu) -> float:
+        """Wall-clock transfer time for a concrete model and NVLink speed."""
+        return self.time_units * shard_transfer_unit_s(model, gpu)
+
+    def bytes_moved(self, model: ModelSpec) -> float:
+        return self.shards_moved * model.weight_bytes / N_SHARDS
+
+
+def shard_transfer_unit_s(model: ModelSpec, gpu: GPUSpec = DGX_H100.gpu) -> float:
+    """T: the time to move one eighth of the model over NVLink."""
+    return (model.weight_bytes / N_SHARDS) / (gpu.nvlink_bandwidth_gbps * 1e9)
+
+
+def plan_reshard(source: ShardLayout, destination: ShardLayout) -> ReshardPlan:
+    """Compute the minimal-movement transfer plan between two layouts.
+
+    The physical GPUs keep their identity; the planner decides which
+    physical GPU plays which destination role so that the retained
+    (non-moved) weights are maximised, then schedules the missing shards
+    from GPUs that already hold them.
+    """
+    src_shards = source.gpu_shards()
+    dst_roles = destination.gpu_shards()
+
+    # Maximum-weight assignment of destination roles to physical GPUs.
+    overlap = np.zeros((N_SHARDS, N_SHARDS), dtype=float)
+    for gpu_index in range(N_SHARDS):
+        for role_index in range(N_SHARDS):
+            overlap[gpu_index, role_index] = len(
+                src_shards[gpu_index] & dst_roles[role_index]
+            )
+            # Small preference for keeping roles on their original slots to
+            # make plans deterministic when overlaps tie.
+            if gpu_index == role_index:
+                overlap[gpu_index, role_index] += 1e-3
+    row, col = linear_sum_assignment(-overlap)
+    role_of_gpu = {int(r): int(c) for r, c in zip(row, col)}
+
+    # Which shards each physical GPU still needs.
+    transfers: List[Tuple[int, int, FrozenSet[int]]] = []
+    pair_load: Dict[Tuple[int, int], int] = {}
+    shards_moved = 0
+    for gpu_index in range(N_SHARDS):
+        role = role_of_gpu[gpu_index]
+        needed = dst_roles[role] - src_shards[gpu_index]
+        if not needed:
+            continue
+        # Fetch each missing shard from the source GPU holding it, spreading
+        # load over multiple holders where possible.
+        assignments: Dict[int, List[int]] = {}
+        for shard in sorted(needed):
+            holders = [
+                other
+                for other in range(N_SHARDS)
+                if shard in src_shards[other] and other != gpu_index
+            ]
+            if not holders:
+                raise ValueError(
+                    f"shard {shard} is not present anywhere in the source layout"
+                )
+            holder = min(
+                holders, key=lambda h: pair_load.get((h, gpu_index), 0)
+            )
+            assignments.setdefault(holder, []).append(shard)
+            pair_load[(holder, gpu_index)] = pair_load.get((holder, gpu_index), 0) + 1
+            shards_moved += 1
+        for holder, shard_list in assignments.items():
+            transfers.append((holder, gpu_index, frozenset(shard_list)))
+
+    time_units = max(pair_load.values()) if pair_load else 0
+    return ReshardPlan(
+        source=source,
+        destination=destination,
+        transfers=tuple(transfers),
+        time_units=time_units,
+        shards_moved=shards_moved,
+    )
+
+
+def reshard_time_units(source: ShardLayout, destination: ShardLayout) -> int:
+    """Re-sharding time between two layouts in units of T."""
+    return plan_reshard(source, destination).time_units
+
+
+def overhead_matrix(
+    layouts: Sequence[str] = ("TP2", "4TP2", "TP4", "TP2+TP4", "2TP4", "TP8"),
+) -> Dict[str, Dict[str, int]]:
+    """Reproduce the paper's Table VI: time units for every layout pair."""
+    matrix: Dict[str, Dict[str, int]] = {}
+    for src_name in layouts:
+        matrix[src_name] = {}
+        for dst_name in layouts:
+            matrix[src_name][dst_name] = reshard_time_units(
+                CANONICAL_LAYOUTS[src_name], CANONICAL_LAYOUTS[dst_name]
+            )
+    return matrix
+
+
+def requires_downtime(
+    source_tp: int,
+    destination_tp: int,
+    model: ModelSpec,
+    server: ServerSpec = DGX_H100,
+) -> bool:
+    """Whether old and new engines cannot coexist in GPU memory.
+
+    When the per-GPU weight shard grows (scaling to a smaller TP), the
+    GPUs that receive extra weights must hold both the old and the new
+    shard during the hand-over.  If that exceeds the GPU memory, the old
+    instance has to be shut down first, causing downtime (Section IV-C).
+    """
+    if destination_tp >= source_tp:
+        return False
+    old_shard_gb = model.weight_gb / source_tp
+    new_shard_gb = model.weight_gb / destination_tp
+    headroom_gb = server.gpu.memory_gb * 0.95
+    return old_shard_gb + new_shard_gb > headroom_gb

@@ -1,0 +1,25 @@
+"""Experiment drivers: one entry point per paper table and figure.
+
+The modules in this package glue workloads, policies, the cluster
+simulator and the metrics together and return plain Python data
+structures (rows/series) matching what the corresponding table or
+figure in the paper reports.  The benchmark harness under
+``benchmarks/`` and the example scripts call into these drivers.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_policy_on_trace,
+    run_all_policies,
+    recommended_static_servers,
+)
+from repro.experiments.fluid import FluidRunner, FluidResult
+
+__all__ = [
+    "ExperimentConfig",
+    "run_policy_on_trace",
+    "run_all_policies",
+    "recommended_static_servers",
+    "FluidRunner",
+    "FluidResult",
+]

@@ -1,0 +1,148 @@
+"""Characterisation experiments: Tables I-IV (Section III-A).
+
+These drivers regenerate the energy heat maps that motivate DynamoLLM:
+energy per request type / load / model across tensor parallelism and
+GPU frequency, with SLO-violating configurations marked infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.llm.catalog import (
+    ModelSpec,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA3_70B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    FALCON_180B,
+)
+from repro.perf.config import InstanceConfig, TENSOR_PARALLELISMS
+from repro.perf.energy_model import EnergyModel
+from repro.workload.arrival import LOAD_LEVELS
+from repro.workload.classification import REQUEST_TYPE_NAMES, RequestType
+from repro.workload.slo import DEFAULT_SLO_POLICY, SLOPolicy
+
+#: Frequencies shown in the paper's tables (GHz columns).
+TABLE_FREQUENCIES_MHZ = (800, 1200, 1600, 1980)
+
+#: Models characterised in Table III.
+TABLE3_MODELS: Sequence[ModelSpec] = (
+    LLAMA2_13B,
+    MIXTRAL_8X7B,
+    LLAMA2_70B,
+    LLAMA3_70B,
+    MIXTRAL_8X22B,
+    FALCON_180B,
+)
+
+
+def _heatmap_row(
+    energy_model: EnergyModel,
+    request_type: RequestType,
+    load_tps: float,
+    frequencies: Sequence[int] = TABLE_FREQUENCIES_MHZ,
+) -> Dict[str, Optional[float]]:
+    """One row of the heat map: energy per (TP, frequency), None = infeasible."""
+    row: Dict[str, Optional[float]] = {}
+    for tp in TENSOR_PARALLELISMS:
+        for frequency in frequencies:
+            sample = energy_model.evaluate_request_type(
+                request_type, InstanceConfig(tp, frequency), load_tps
+            )
+            key = f"TP{tp}@{frequency}"
+            row[key] = sample.energy_per_request_wh if sample.feasible else None
+    return row
+
+
+def table1_energy_heatmap(
+    model: ModelSpec = LLAMA2_70B,
+    load_tps: float = 2000.0,
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Table I: energy (Wh/request) per request type x TP x frequency."""
+    energy_model = EnergyModel(model, slo_policy=slo_policy)
+    return {
+        type_name: _heatmap_row(energy_model, RequestType.from_name(type_name), load_tps)
+        for type_name in REQUEST_TYPE_NAMES
+    }
+
+
+def table2_load_sweep(
+    model: ModelSpec = LLAMA2_70B,
+    request_type_name: str = "MM",
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Table II: energy for MM requests across low/medium/high load."""
+    energy_model = EnergyModel(model, slo_policy=slo_policy)
+    request_type = RequestType.from_name(request_type_name)
+    return {
+        level.name: _heatmap_row(energy_model, request_type, level.prompt_tokens_per_second)
+        for level in LOAD_LEVELS.values()
+    }
+
+
+def table3_model_sweep(
+    models: Sequence[ModelSpec] = TABLE3_MODELS,
+    request_type_name: str = "MM",
+    load_tps: float = 2000.0,
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Table III: energy for MM requests across the model catalog."""
+    request_type = RequestType.from_name(request_type_name)
+    rows: Dict[str, Dict[str, Optional[float]]] = {}
+    for model in models:
+        energy_model = EnergyModel(model, slo_policy=slo_policy)
+        rows[model.name] = _heatmap_row(energy_model, request_type, load_tps)
+    return rows
+
+
+def table4_slo_table(slo_policy: SLOPolicy = DEFAULT_SLO_POLICY) -> Dict[str, Dict[str, float]]:
+    """Table IV: classification thresholds and TTFT/TBT SLOs per bucket."""
+    from repro.workload.classification import (
+        DEFAULT_INPUT_THRESHOLDS,
+        DEFAULT_OUTPUT_THRESHOLDS,
+    )
+
+    table: Dict[str, Dict[str, float]] = {}
+    for index, input_class in enumerate("SML"):
+        for output_class in "SML":
+            name = f"{input_class}{output_class}"
+            request_type = RequestType.from_name(name)
+            slo = slo_policy.slo_for(request_type)
+            table[name] = {
+                "input_threshold": float(DEFAULT_INPUT_THRESHOLDS[index]),
+                "output_threshold": float(DEFAULT_OUTPUT_THRESHOLDS["SML".index(output_class)]),
+                "ttft_slo_s": slo.ttft_s,
+                "tbt_slo_s": slo.tbt_s,
+            }
+    return table
+
+
+def best_configs_summary(
+    model: ModelSpec = LLAMA2_70B, load_tps: float = 2000.0
+) -> Dict[str, Optional[str]]:
+    """Minimum-energy SLO-compliant configuration per request type."""
+    energy_model = EnergyModel(model)
+    summary: Dict[str, Optional[str]] = {}
+    for type_name in REQUEST_TYPE_NAMES:
+        best = energy_model.best_config(RequestType.from_name(type_name), load_tps)
+        summary[type_name] = best.config.name if best is not None else None
+    return summary
+
+
+def format_heatmap(rows: Dict[str, Dict[str, Optional[float]]]) -> List[str]:
+    """Render a heat map as fixed-width text lines (for benches/examples)."""
+    if not rows:
+        return []
+    columns = list(next(iter(rows.values())).keys())
+    header = f"{'':12s}" + "".join(f"{column:>14s}" for column in columns)
+    lines = [header]
+    for name, row in rows.items():
+        cells = "".join(
+            f"{row[column]:14.3f}" if row[column] is not None else f"{'--':>14s}"
+            for column in columns
+        )
+        lines.append(f"{name:12s}{cells}")
+    return lines

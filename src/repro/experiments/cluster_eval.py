@@ -1,0 +1,124 @@
+"""Cluster-level evaluation: Figures 6-10 (Section V-B).
+
+All five figures come from the same experiment: the six systems serving
+the 1-hour trace on a peak-provisioned cluster.  ``run_cluster_evaluation``
+runs it once and the per-figure extractors shape the results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import ExperimentConfig, run_all_policies
+from repro.metrics.summary import RunSummary, compare_energy
+from repro.policies import ALL_POLICIES
+from repro.workload.synthetic import make_one_hour_trace
+from repro.workload.traces import Trace
+
+#: Scale factor applied to the synthetic 1-hour trace so that the peak
+#: needs a multi-server cluster (the paper's trace needed 12 servers).
+DEFAULT_RATE_SCALE = 25.0
+
+
+def one_hour_trace(
+    service: str = "conversation",
+    rate_scale: float = DEFAULT_RATE_SCALE,
+    seed: int = 7,
+) -> Trace:
+    """The 1-hour trace used throughout Section V-B."""
+    return make_one_hour_trace(service, seed=seed, rate_scale=rate_scale)
+
+
+def run_cluster_evaluation(
+    trace: Optional[Trace] = None,
+    config: Optional[ExperimentConfig] = None,
+    policies=ALL_POLICIES,
+) -> Dict[str, RunSummary]:
+    """Run the six systems over the 1-hour trace (Figures 6-10)."""
+    trace = trace if trace is not None else one_hour_trace()
+    config = config or ExperimentConfig()
+    return run_all_policies(trace, policies, config)
+
+
+# ----------------------------------------------------------------------
+# Per-figure extractors
+# ----------------------------------------------------------------------
+def figure6_energy_by_system(
+    summaries: Dict[str, RunSummary],
+) -> Dict[str, Dict[str, float]]:
+    """Figure 6: total energy per system, broken down by request type (kWh)."""
+    result: Dict[str, Dict[str, float]] = {}
+    for name, summary in summaries.items():
+        breakdown = summary.energy.type_breakdown_kwh()
+        breakdown["total"] = summary.energy_kwh
+        result[name] = breakdown
+    return result
+
+
+def figure7_latency_percentiles(
+    summaries: Dict[str, RunSummary],
+    percentiles=(50, 90, 99),
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Figure 7: TTFT and TBT percentiles per system."""
+    return {
+        name: summary.latency.percentile_table(percentiles)
+        for name, summary in summaries.items()
+    }
+
+
+def figure8_power_percentiles(
+    summaries: Dict[str, RunSummary],
+    percentiles=(50, 90, 99),
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Figure 8: cluster and per-GPU power percentiles per system."""
+    return {
+        name: summary.power.percentile_table(percentiles)
+        for name, summary in summaries.items()
+    }
+
+
+def figure9_frequency_timeline(
+    summaries: Dict[str, RunSummary],
+    policy: str = "DynamoLLM",
+    pools: Tuple[str, ...] = ("SL", "LL"),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 9: average GPU frequency over time (total and per pool)."""
+    summary = summaries[policy]
+    series: Dict[str, List[Tuple[float, float]]] = {"total": summary.frequency_timeline}
+    for pool in pools:
+        series[pool] = summary.pool_frequency_timeline.get(pool, [])
+    return series
+
+
+def figure10_sharding_timeline(
+    summaries: Dict[str, RunSummary],
+    policy: str = "DynamoLLM",
+    pools: Tuple[str, ...] = ("SL", "ML", "LL"),
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Figure 10: GPUs per TP degree over time, total and for selected pools.
+
+    Returns ``{scope: {"TP2"|"TP4"|"TP8"|"load": [(time, value), ...]}}``.
+    """
+    summary = summaries[policy]
+
+    def split_series(
+        timeline: List[Tuple[float, Dict[int, int]]]
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        series: Dict[str, List[Tuple[float, float]]] = {"TP2": [], "TP4": [], "TP8": []}
+        for time, tp_map in timeline:
+            for tp in (2, 4, 8):
+                series[f"TP{tp}"].append((time, float(tp_map.get(tp, 0))))
+        return series
+
+    result: Dict[str, Dict[str, List[Tuple[float, float]]]] = {
+        "total": split_series(summary.gpus_by_tp_timeline)
+    }
+    for pool in pools:
+        result[pool] = split_series(summary.pool_gpus_by_tp_timeline.get(pool, []))
+        result[pool]["load"] = summary.pool_load_timeline.get(pool, [])
+    return result
+
+
+def normalized_energy(summaries: Dict[str, RunSummary]) -> Dict[str, float]:
+    """Energy of each system normalised to SinglePool (headline comparison)."""
+    return compare_energy(summaries, baseline="SinglePool")

@@ -1,0 +1,141 @@
+"""Large-scale experiments: Figures 14-16 and the cost analysis (Section V-D/E/F).
+
+These use the fluid (binned) simulator — the reproduction's counterpart
+of the paper's discrete-time simulator — over synthetic day- and
+week-long traces for the Conversation and Coding services.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.fluid import FluidResult, FluidRunner
+from repro.llm.catalog import ModelSpec, LLAMA2_70B
+from repro.metrics.carbon import CarbonIntensityTrace, carbon_timeline_kg_per_h
+from repro.metrics.cost import CostModel
+from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
+from repro.workload.synthetic import SECONDS_PER_DAY, make_week_trace
+from repro.workload.traces import TraceBin
+
+#: Rate scale applied to the week traces so the cluster spans tens of servers.
+DEFAULT_WEEK_RATE_SCALE = 40.0
+
+
+def week_bins(
+    service: str,
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    bin_seconds: float = 300.0,
+    seed: int = 7,
+) -> List[TraceBin]:
+    """A week-long binned trace for one service."""
+    return make_week_trace(service, seed=seed, rate_scale=rate_scale, bin_seconds=bin_seconds)
+
+
+def figure14_weekly_energy(
+    services: Tuple[str, ...] = ("conversation", "coding"),
+    model: ModelSpec = LLAMA2_70B,
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    policies=ALL_POLICIES,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 14: normalised weekly energy of the six systems per service."""
+    runner = FluidRunner(model=model)
+    result: Dict[str, Dict[str, float]] = {}
+    for service in services:
+        bins = week_bins(service, rate_scale=rate_scale)
+        runs = runner.run_all(policies, bins)
+        baseline = runs["SinglePool"].energy_wh or 1.0
+        result[service] = {name: run.energy_wh / baseline for name, run in runs.items()}
+    return result
+
+
+def figure15_daily_energy(
+    service: str = "conversation",
+    model: ModelSpec = LLAMA2_70B,
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    bin_seconds: float = 300.0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 15: energy per 5-minute interval over one day, both systems."""
+    runner = FluidRunner(model=model)
+    bins = week_bins(service, rate_scale=rate_scale, bin_seconds=bin_seconds)
+    day_bins = [
+        b for b in bins if SECONDS_PER_DAY <= b.start_time < 2 * SECONDS_PER_DAY
+    ]
+    baseline = runner.run(SINGLE_POOL, day_bins)
+    dynamo = runner.run(DYNAMO_LLM, day_bins)
+    return {
+        "SinglePool": [(t, wh / 1000.0) for t, wh in baseline.energy_timeline_wh],
+        "DynamoLLM": [(t, wh / 1000.0) for t, wh in dynamo.energy_timeline_wh],
+    }
+
+
+def figure16_carbon(
+    service: str = "conversation",
+    model: ModelSpec = LLAMA2_70B,
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    intensity: Optional[CarbonIntensityTrace] = None,
+) -> Dict[str, object]:
+    """Figure 16: CO2 emission rate over the week, plus weekly totals (tonnes)."""
+    intensity = intensity or CarbonIntensityTrace()
+    runner = FluidRunner(model=model)
+    bins = week_bins(service, rate_scale=rate_scale)
+    baseline = runner.run(SINGLE_POOL, bins)
+    dynamo = runner.run(DYNAMO_LLM, bins)
+    return {
+        "timeline_kg_per_h": {
+            "SinglePool": carbon_timeline_kg_per_h(baseline.energy_timeline_wh, intensity),
+            "DynamoLLM": carbon_timeline_kg_per_h(dynamo.energy_timeline_wh, intensity),
+        },
+        "weekly_tonnes": {
+            "SinglePool": baseline.carbon_kg(intensity) / 1000.0,
+            "DynamoLLM": dynamo.carbon_kg(intensity) / 1000.0,
+        },
+        "saving_fraction": 1.0
+        - (dynamo.carbon_kg(intensity) / baseline.carbon_kg(intensity) if baseline.carbon_kg(intensity) > 0 else 1.0),
+    }
+
+
+def cost_summary(
+    service: str = "conversation",
+    model: ModelSpec = LLAMA2_70B,
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, float]:
+    """Section V-F: GPU-hour and energy cost savings over a week."""
+    cost_model = cost_model or CostModel()
+    runner = FluidRunner(model=model)
+    bins = week_bins(service, rate_scale=rate_scale)
+    baseline: FluidResult = runner.run(SINGLE_POOL, bins)
+    dynamo: FluidResult = runner.run(DYNAMO_LLM, bins)
+    savings = cost_model.savings(
+        baseline_gpu_hours=baseline.gpu_hours,
+        baseline_energy_kwh=baseline.energy_kwh,
+        optimized_gpu_hours=dynamo.gpu_hours,
+        optimized_energy_kwh=dynamo.energy_kwh,
+    )
+    hours = baseline.duration_s / 3600.0 or 1.0
+    savings.update(
+        {
+            "baseline_avg_servers": baseline.average_servers,
+            "dynamo_avg_servers": dynamo.average_servers,
+            "gpu_saving_usd_per_hour": savings["gpu_saving_usd"] / hours,
+            "energy_saving_usd_per_hour": savings["energy_saving_usd"] / hours,
+            "energy_saving_fraction": 1.0
+            - (dynamo.energy_kwh / baseline.energy_kwh if baseline.energy_kwh > 0 else 1.0),
+        }
+    )
+    return savings
+
+
+def headline_claims(
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+) -> Dict[str, float]:
+    """The abstract's service-level claims: energy, carbon and cost savings."""
+    weekly = figure14_weekly_energy(rate_scale=rate_scale, policies=(SINGLE_POOL, DYNAMO_LLM))
+    carbon = figure16_carbon(rate_scale=rate_scale)
+    cost = cost_summary(rate_scale=rate_scale)
+    energy_saving = 1.0 - sum(weekly[s]["DynamoLLM"] for s in weekly) / len(weekly)
+    return {
+        "energy_saving_fraction": energy_saving,
+        "carbon_saving_fraction": carbon["saving_fraction"],
+        "cost_saving_fraction": cost["saving_fraction"],
+    }

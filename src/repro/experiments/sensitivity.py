@@ -1,0 +1,129 @@
+"""Sensitivity studies: Figures 11, 12 and 13 (Section V-C)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import ExperimentConfig, run_all_policies, run_policy_on_trace
+from repro.metrics.summary import RunSummary
+from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
+from repro.workload.arrival import LOAD_LEVELS, PoissonArrivalGenerator, get_load_level
+from repro.workload.classification import scheme_for_pool_count
+from repro.workload.synthetic import make_one_hour_trace
+from repro.workload.traces import Trace
+
+
+def _default_trace(rate_scale: float = 15.0, duration_s: Optional[float] = 1800.0) -> Trace:
+    trace = make_one_hour_trace("conversation", rate_scale=rate_scale)
+    if duration_s is not None and duration_s < trace.duration:
+        trace = trace.slice(0.0, duration_s)
+    return trace
+
+
+def figure11_predictor_accuracy(
+    accuracies: Sequence[float] = (1.0, 0.9, 0.8, 0.6, 0.5),
+    trace: Optional[Trace] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11: energy and TTFT vs output-length predictor accuracy.
+
+    Includes the SinglePool baseline as the reference bar, as in the
+    paper's figure.
+    """
+    trace = trace if trace is not None else _default_trace()
+    base_config = config or ExperimentConfig()
+    results: Dict[str, Dict[str, float]] = {}
+
+    baseline = run_policy_on_trace(SINGLE_POOL, trace, base_config)
+    results["SinglePool"] = {
+        "energy_kwh": baseline.energy_kwh,
+        "p99_ttft_s": baseline.latency.ttft_percentile(99),
+        "mean_ttft_s": baseline.latency.mean_ttft(),
+        "slo_attainment": baseline.slo_attainment(),
+    }
+    for accuracy in accuracies:
+        run_config = ExperimentConfig(
+            model=base_config.model,
+            time_step_s=base_config.time_step_s,
+            static_servers=base_config.static_servers,
+            max_servers=base_config.max_servers,
+            predictor_accuracy=accuracy,
+            slo_policy=base_config.slo_policy,
+            scheme=base_config.scheme,
+            epochs=base_config.epochs,
+            profile=base_config.profile,
+        )
+        summary = run_policy_on_trace(DYNAMO_LLM, trace, run_config)
+        results[f"Dyn-{int(accuracy * 100)}%"] = {
+            "energy_kwh": summary.energy_kwh,
+            "p99_ttft_s": summary.latency.ttft_percentile(99),
+            "mean_ttft_s": summary.latency.mean_ttft(),
+            "slo_attainment": summary.slo_attainment(),
+        }
+    return results
+
+
+def figure12_load_levels(
+    levels: Sequence[str] = ("low", "medium", "high"),
+    duration_s: float = 1800.0,
+    config: Optional[ExperimentConfig] = None,
+    policies=ALL_POLICIES,
+    load_multiplier: float = 6.0,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 12: energy of the six systems under Poisson load levels.
+
+    ``load_multiplier`` scales the paper's single-server load levels up
+    to cluster scale so that several servers are exercised.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for level_name in levels:
+        level = get_load_level(level_name)
+        generator = PoissonArrivalGenerator(seed=11)
+        scaled = type(level)(level.name, level.prompt_tokens_per_second * load_multiplier)
+        trace = generator.generate(scaled, duration_s)
+        summaries = run_all_policies(trace, policies, config or ExperimentConfig())
+        results[level_name] = {name: s.energy_kwh for name, s in summaries.items()}
+    return results
+
+
+def figure13_pool_count(
+    pool_counts: Sequence[int] = (2, 4, 6, 9),
+    trace: Optional[Trace] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Figure 13: energy and TTFT of DynamoLLM vs the number of pools."""
+    trace = trace if trace is not None else _default_trace()
+    base_config = config or ExperimentConfig()
+    results: Dict[int, Dict[str, float]] = {}
+    for count in pool_counts:
+        scheme = scheme_for_pool_count(count)
+        run_config = ExperimentConfig(
+            model=base_config.model,
+            time_step_s=base_config.time_step_s,
+            static_servers=base_config.static_servers,
+            max_servers=base_config.max_servers,
+            predictor_accuracy=base_config.predictor_accuracy,
+            slo_policy=base_config.slo_policy,
+            scheme=scheme,
+            epochs=base_config.epochs,
+            profile=base_config.profile,
+        )
+        summary = run_policy_on_trace(DYNAMO_LLM, trace, run_config)
+        results[count] = {
+            "energy_kwh": summary.energy_kwh,
+            "p99_ttft_s": summary.latency.ttft_percentile(99),
+            "mean_ttft_s": summary.latency.mean_ttft(),
+            "slo_attainment": summary.slo_attainment(),
+        }
+    return results
+
+
+def compare_levels(results: Dict[str, Dict[str, float]], baseline: str = "SinglePool") -> Dict[str, Dict[str, float]]:
+    """Savings of every system vs the baseline for each load level."""
+    savings: Dict[str, Dict[str, float]] = {}
+    for level, energies in results.items():
+        base = energies.get(baseline, 0.0)
+        savings[level] = {
+            name: (1.0 - value / base if base > 0 else 0.0) for name, value in energies.items()
+        }
+    return savings

@@ -1,0 +1,76 @@
+"""Trace-characterisation experiments: Figures 1 and 2 (Section III-B)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workload.classification import REQUEST_TYPE_NAMES
+from repro.workload.synthetic import make_week_trace
+from repro.workload.traces import TraceBin
+
+SECONDS_PER_DAY = 86400.0
+DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def figure1_request_mix(
+    services: Tuple[str, ...] = ("coding", "conversation"),
+    seed: int = 7,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 1: daily request-type distribution per service over a week.
+
+    Returns ``{service: {day: {request_type: fraction}}}``.
+    """
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for service in services:
+        bins = make_week_trace(service, seed=seed, bin_seconds=3600.0)
+        per_day: Dict[str, Dict[str, float]] = {}
+        for day_index, day_name in enumerate(DAY_NAMES):
+            day_bins = [
+                b
+                for b in bins
+                if day_index * SECONDS_PER_DAY <= b.start_time < (day_index + 1) * SECONDS_PER_DAY
+            ]
+            counts = {name: 0.0 for name in REQUEST_TYPE_NAMES}
+            total = 0.0
+            for trace_bin in day_bins:
+                for name, count in trace_bin.count_by_type.items():
+                    counts[name] += count
+                    total += count
+            per_day[day_name] = {
+                name: (counts[name] / total if total > 0 else 0.0)
+                for name in REQUEST_TYPE_NAMES
+            }
+        result[service] = per_day
+    return result
+
+
+def figure2_weekly_load(
+    services: Tuple[str, ...] = ("coding", "conversation"),
+    seed: int = 7,
+    bin_seconds: float = 3600.0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 2: normalised load (tokens/s) over a week per service."""
+    result: Dict[str, List[Tuple[float, float]]] = {}
+    for service in services:
+        bins: List[TraceBin] = make_week_trace(service, seed=seed, bin_seconds=bin_seconds)
+        loads = [(b.start_time, b.tokens_per_second) for b in bins]
+        peak = max((value for _, value in loads), default=1.0) or 1.0
+        result[service] = [(time, value / peak) for time, value in loads]
+    return result
+
+
+def weekly_load_statistics(
+    services: Tuple[str, ...] = ("coding", "conversation"), seed: int = 7
+) -> Dict[str, Dict[str, float]]:
+    """Peak/average and peak/valley ratios quoted in Section III-B."""
+    stats: Dict[str, Dict[str, float]] = {}
+    for service, series in figure2_weekly_load(services, seed=seed).items():
+        values = [value for _, value in series if value > 0]
+        peak = max(values)
+        average = sum(values) / len(values)
+        valley = min(values)
+        stats[service] = {
+            "peak_over_average": peak / average if average > 0 else 0.0,
+            "peak_over_valley": peak / valley if valley > 0 else float("inf"),
+        }
+    return stats

@@ -1,0 +1,39 @@
+"""Model and hardware catalog.
+
+This package describes the LLMs evaluated in the paper (Table III) and
+the NVIDIA H100 GPU / DGX server they run on.  These specifications feed
+the analytical energy-performance models in :mod:`repro.perf`.
+"""
+
+from repro.llm.gpu import GPUSpec, ServerSpec, H100, DGX_H100
+from repro.llm.catalog import (
+    ModelSpec,
+    MODEL_CATALOG,
+    get_model,
+    list_models,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA3_70B,
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    FALCON_180B,
+    BLOOM_176B,
+)
+
+__all__ = [
+    "GPUSpec",
+    "ServerSpec",
+    "H100",
+    "DGX_H100",
+    "ModelSpec",
+    "MODEL_CATALOG",
+    "get_model",
+    "list_models",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA3_70B",
+    "MIXTRAL_8X7B",
+    "MIXTRAL_8X22B",
+    "FALCON_180B",
+    "BLOOM_176B",
+]

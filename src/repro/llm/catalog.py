@@ -1,0 +1,234 @@
+"""Catalog of the LLMs evaluated in the paper.
+
+Table III of the paper characterises six models: Llama2-13B,
+Mixtral-8x7B, Llama2-70B, Llama3-70B, Mixtral-8x22B and Falcon-180B;
+Section V-A additionally mentions BLOOM.  The specifications below are
+taken from the public model cards.  ``active_params_b`` differs from
+``total_params_b`` only for mixture-of-experts models, where a token
+only activates a subset of the experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.llm.gpu import GPUSpec, ServerSpec, DGX_H100
+
+# Bytes per parameter in half precision (FP16/BF16 weights).
+BYTES_PER_PARAM_FP16 = 2.0
+
+# Fraction of GPU memory that must remain free for activations, CUDA
+# context and fragmentation; the remainder is split between weights and
+# the KV cache.
+_MEMORY_HEADROOM_FRACTION = 0.08
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of an LLM used by the performance models.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name (matches the paper's naming).
+    total_params_b:
+        Total parameter count in billions (stored weights).
+    active_params_b:
+        Parameters activated per token in billions; equals
+        ``total_params_b`` for dense models.
+    n_layers / hidden_size / n_heads / n_kv_heads:
+        Transformer shape; used for KV-cache sizing and communication
+        volume estimates.
+    max_context:
+        Maximum supported context length in tokens.
+    is_moe:
+        Whether the model is a mixture-of-experts.
+    """
+
+    name: str
+    total_params_b: float
+    active_params_b: float
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    max_context: int = 8192
+    is_moe: bool = False
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def weight_bytes(self) -> float:
+        """Total bytes of model weights in half precision."""
+        return self.total_params_b * 1e9 * BYTES_PER_PARAM_FP16
+
+    @property
+    def weight_gb(self) -> float:
+        return self.weight_bytes / 1e9
+
+    @property
+    def active_weight_bytes(self) -> float:
+        """Bytes of weights touched per generated token (MoE-aware)."""
+        return self.active_params_b * 1e9 * BYTES_PER_PARAM_FP16
+
+    def kv_bytes_per_token(self) -> float:
+        """Bytes of KV cache stored per token of context (whole model)."""
+        head_dim = self.hidden_size / self.n_heads
+        # 2 tensors (K and V) * layers * kv heads * head_dim * 2 bytes.
+        return 2.0 * self.n_layers * self.n_kv_heads * head_dim * BYTES_PER_PARAM_FP16
+
+    def weight_gb_per_gpu(self, tensor_parallelism: int) -> float:
+        """Weights resident on each GPU of a TP group."""
+        if tensor_parallelism <= 0:
+            raise ValueError("tensor parallelism must be positive")
+        return self.weight_gb / tensor_parallelism
+
+    def kv_capacity_tokens(
+        self, tensor_parallelism: int, server: ServerSpec = DGX_H100
+    ) -> float:
+        """Number of context tokens the KV cache can hold at a given TP.
+
+        The KV cache occupies whatever GPU memory is left after the
+        weight shard and a fixed headroom on each GPU of the group.
+        Returns 0 if the weights alone do not fit.
+        """
+        gpu: GPUSpec = server.gpu
+        usable_per_gpu = gpu.memory_gb * (1.0 - _MEMORY_HEADROOM_FRACTION)
+        free_per_gpu = usable_per_gpu - self.weight_gb_per_gpu(tensor_parallelism)
+        if free_per_gpu <= 0:
+            return 0.0
+        free_total_bytes = free_per_gpu * 1e9 * tensor_parallelism
+        return free_total_bytes / self.kv_bytes_per_token()
+
+    def fits(self, tensor_parallelism: int, server: ServerSpec = DGX_H100) -> bool:
+        """Whether the model (plus a minimal KV cache) fits at this TP."""
+        # Require room for at least 4k tokens of KV cache so that the
+        # instance can actually serve requests, not merely hold weights.
+        return self.kv_capacity_tokens(tensor_parallelism, server) >= 4096
+
+    def min_tensor_parallelism(self, server: ServerSpec = DGX_H100) -> int:
+        """Smallest supported TP degree at which the model fits."""
+        for tp in server.supported_tensor_parallelism:
+            if self.fits(tp, server):
+                return tp
+        raise ValueError(
+            f"model {self.name} does not fit on a single {server.name} server"
+        )
+
+    def feasible_tensor_parallelisms(
+        self, server: ServerSpec = DGX_H100
+    ) -> List[int]:
+        """All supported TP degrees at which the model fits on the server."""
+        return [tp for tp in server.supported_tensor_parallelism if self.fits(tp, server)]
+
+
+# ----------------------------------------------------------------------
+# Catalog entries (public model-card numbers)
+# ----------------------------------------------------------------------
+LLAMA2_13B = ModelSpec(
+    name="Llama2-13B",
+    total_params_b=13.0,
+    active_params_b=13.0,
+    n_layers=40,
+    hidden_size=5120,
+    n_heads=40,
+    n_kv_heads=40,
+    max_context=4096,
+)
+
+LLAMA2_70B = ModelSpec(
+    name="Llama2-70B",
+    total_params_b=70.0,
+    active_params_b=70.0,
+    n_layers=80,
+    hidden_size=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    max_context=4096,
+)
+
+LLAMA3_70B = ModelSpec(
+    name="Llama3-70B",
+    total_params_b=70.6,
+    active_params_b=70.6,
+    n_layers=80,
+    hidden_size=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    max_context=8192,
+)
+
+MIXTRAL_8X7B = ModelSpec(
+    name="Mixtral-8x7B",
+    total_params_b=46.7,
+    active_params_b=12.9,
+    n_layers=32,
+    hidden_size=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    max_context=32768,
+    is_moe=True,
+)
+
+MIXTRAL_8X22B = ModelSpec(
+    name="Mixtral-8x22B",
+    total_params_b=141.0,
+    active_params_b=39.0,
+    n_layers=56,
+    hidden_size=6144,
+    n_heads=48,
+    n_kv_heads=8,
+    max_context=65536,
+    is_moe=True,
+)
+
+FALCON_180B = ModelSpec(
+    name="Falcon-180B",
+    total_params_b=180.0,
+    active_params_b=180.0,
+    n_layers=80,
+    hidden_size=14848,
+    n_heads=232,
+    n_kv_heads=8,
+    max_context=2048,
+)
+
+BLOOM_176B = ModelSpec(
+    name="BLOOM-176B",
+    total_params_b=176.0,
+    active_params_b=176.0,
+    n_layers=70,
+    hidden_size=14336,
+    n_heads=112,
+    n_kv_heads=112,
+    max_context=2048,
+)
+
+MODEL_CATALOG: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        LLAMA2_13B,
+        LLAMA2_70B,
+        LLAMA3_70B,
+        MIXTRAL_8X7B,
+        MIXTRAL_8X22B,
+        FALCON_180B,
+        BLOOM_176B,
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name, with a helpful error on typos."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> List[str]:
+    """Names of all catalogued models."""
+    return sorted(MODEL_CATALOG)

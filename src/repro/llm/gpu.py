@@ -1,0 +1,132 @@
+"""GPU and server hardware specifications.
+
+The paper evaluates on NVIDIA DGX H100 servers (8 H100 SXM GPUs linked
+by NVLink).  The numbers below are public datasheet values plus the two
+quantities the paper reports directly: the usable NVLink bandwidth used
+for re-sharding (300 GB/s, Table VI) and the supported core-frequency
+range used for DVFS (800-1980 MHz, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a single GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the part.
+    memory_gb:
+        HBM capacity in gigabytes.
+    peak_fp16_tflops:
+        Peak dense FP16/BF16 tensor throughput at maximum frequency.
+    memory_bandwidth_gbps:
+        Peak HBM bandwidth in GB/s.
+    nvlink_bandwidth_gbps:
+        Per-GPU NVLink bandwidth usable for weight transfers in GB/s.
+    max_frequency_mhz / min_frequency_mhz:
+        Supported core clock range for DVFS.
+    frequency_step_mhz:
+        Granularity at which DynamoLLM profiles frequencies.
+    tdp_watts:
+        Board power at full load and maximum frequency.
+    idle_watts:
+        Power drawn by an idle but initialised GPU (weights resident).
+    voltage_floor:
+        Fraction of nominal voltage below which DVFS cannot reduce the
+        supply voltage further; below the corresponding frequency the
+        energy-per-operation stops improving.
+    """
+
+    name: str = "H100-SXM"
+    memory_gb: float = 80.0
+    peak_fp16_tflops: float = 989.0
+    memory_bandwidth_gbps: float = 3350.0
+    nvlink_bandwidth_gbps: float = 300.0
+    max_frequency_mhz: int = 1980
+    min_frequency_mhz: int = 800
+    frequency_step_mhz: int = 200
+    tdp_watts: float = 700.0
+    idle_watts: float = 85.0
+    voltage_floor: float = 0.78
+
+    def frequency_levels(self) -> Tuple[int, ...]:
+        """Profiled frequency levels, ``min..max`` in ``frequency_step`` steps.
+
+        The maximum frequency is always included even if the stride does
+        not land on it exactly (the paper profiles 800-1980 MHz in 200 MHz
+        steps and uses 1980 MHz as the highest-performance setting).
+        """
+        levels = list(
+            range(self.min_frequency_mhz, self.max_frequency_mhz + 1, self.frequency_step_mhz)
+        )
+        if levels[-1] != self.max_frequency_mhz:
+            levels.append(self.max_frequency_mhz)
+        return tuple(levels)
+
+    def frequency_ratio(self, frequency_mhz: float) -> float:
+        """Core frequency as a fraction of the maximum frequency."""
+        return float(frequency_mhz) / float(self.max_frequency_mhz)
+
+    def voltage_ratio(self, frequency_mhz: float) -> float:
+        """Approximate supply-voltage ratio at the given frequency.
+
+        Voltage tracks frequency linearly until it hits the floor; below
+        that point lowering the frequency no longer lowers the voltage.
+        """
+        ratio = 0.55 + 0.45 * self.frequency_ratio(frequency_mhz)
+        return max(self.voltage_floor, min(1.0, ratio))
+
+    def validate_frequency(self, frequency_mhz: float) -> None:
+        """Raise ``ValueError`` if the frequency is outside the DVFS range."""
+        if not (self.min_frequency_mhz <= frequency_mhz <= self.max_frequency_mhz):
+            raise ValueError(
+                f"frequency {frequency_mhz} MHz outside supported range "
+                f"[{self.min_frequency_mhz}, {self.max_frequency_mhz}] for {self.name}"
+            )
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """An inference server: several GPUs sharing an NVLink domain.
+
+    The paper only considers tensor parallelism inside one server (all
+    open-source models fit on 8 GPUs), so a server is also the largest
+    unit a single model instance can span.
+    """
+
+    name: str = "DGX-H100"
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    gpus_per_server: int = 8
+    host_idle_watts: float = 500.0
+    supported_tensor_parallelism: Tuple[int, ...] = (1, 2, 4, 8)
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.gpu.memory_gb * self.gpus_per_server
+
+    @property
+    def max_power_watts(self) -> float:
+        """Upper bound on server power (all GPUs at TDP plus the host)."""
+        return self.gpu.tdp_watts * self.gpus_per_server + self.host_idle_watts
+
+    def validate_tensor_parallelism(self, tp: int) -> None:
+        if tp not in self.supported_tensor_parallelism:
+            raise ValueError(
+                f"tensor parallelism {tp} not supported on {self.name}; "
+                f"supported degrees are {self.supported_tensor_parallelism}"
+            )
+        if tp > self.gpus_per_server:
+            raise ValueError(
+                f"tensor parallelism {tp} exceeds GPUs per server ({self.gpus_per_server})"
+            )
+
+
+# Canonical hardware used throughout the reproduction.
+H100 = GPUSpec()
+DGX_H100 = ServerSpec()

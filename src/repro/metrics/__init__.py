@@ -1,0 +1,19 @@
+"""Metrics: latency percentiles, energy, power, carbon and cost accounting."""
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.power import PowerTimeSeries
+from repro.metrics.carbon import CarbonIntensityTrace, carbon_emissions_kg
+from repro.metrics.cost import CostModel
+from repro.metrics.summary import RunSummary, compare_energy
+
+__all__ = [
+    "LatencyStats",
+    "EnergyAccount",
+    "PowerTimeSeries",
+    "CarbonIntensityTrace",
+    "carbon_emissions_kg",
+    "CostModel",
+    "RunSummary",
+    "compare_energy",
+]

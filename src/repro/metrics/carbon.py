@@ -1,0 +1,79 @@
+"""Operational carbon emissions (paper Figure 16, Section V-F).
+
+The paper maps the cluster's energy over time onto grid carbon-intensity
+traces (WattTime / CAISO).  Without access to those feeds we use a
+synthetic CAISO-like intensity profile: a pronounced midday dip (solar)
+and higher intensity overnight and during the evening ramp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CarbonIntensityTrace:
+    """Time-varying grid carbon intensity in kgCO2 per kWh.
+
+    Parameters
+    ----------
+    base_intensity:
+        Mean intensity (kg/kWh).  CAISO averages roughly 0.25 kg/kWh.
+    solar_dip:
+        Fractional reduction at the midday solar peak.
+    evening_ramp:
+        Fractional increase during the evening ramp (gas peakers).
+    """
+
+    name: str = "caiso-like"
+    base_intensity: float = 0.25
+    solar_dip: float = 0.45
+    evening_ramp: float = 0.25
+
+    def intensity_at(self, time_s: float) -> float:
+        """Carbon intensity (kg/kWh) at ``time_s`` seconds from Monday 00:00."""
+        hour = (time_s % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        solar = math.exp(-((hour - 12.5) ** 2) / (2.0 * 3.0 ** 2))
+        evening = math.exp(-((hour - 19.5) ** 2) / (2.0 * 2.0 ** 2))
+        factor = 1.0 - self.solar_dip * solar + self.evening_ramp * evening
+        return max(0.02, self.base_intensity * factor)
+
+    def series(self, duration_s: float, step_s: float = 3600.0) -> List[Tuple[float, float]]:
+        """Sampled intensity curve over ``duration_s``."""
+        points = []
+        time = 0.0
+        while time < duration_s:
+            points.append((time, self.intensity_at(time)))
+            time += step_s
+        return points
+
+
+def carbon_emissions_kg(
+    energy_timeline_wh: Sequence[Tuple[float, float]],
+    intensity: CarbonIntensityTrace,
+) -> float:
+    """Total operational CO2 (kg) for a (time, energy-Wh) timeline."""
+    total = 0.0
+    for time, energy_wh in energy_timeline_wh:
+        total += (energy_wh / 1000.0) * intensity.intensity_at(time)
+    return total
+
+
+def carbon_timeline_kg_per_h(
+    energy_timeline_wh: Sequence[Tuple[float, float]],
+    intensity: CarbonIntensityTrace,
+    bin_seconds: float = 3600.0,
+) -> List[Tuple[float, float]]:
+    """Hourly CO2 emission rate (kg/h) over time (the Figure 16 curves)."""
+    bins = {}
+    for time, energy_wh in energy_timeline_wh:
+        index = int(time // bin_seconds)
+        bins.setdefault(index, 0.0)
+        bins[index] += (energy_wh / 1000.0) * intensity.intensity_at(time)
+    hours_per_bin = bin_seconds / 3600.0
+    return [(index * bin_seconds, bins[index] / hours_per_bin) for index in sorted(bins)]

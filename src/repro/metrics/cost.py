@@ -1,0 +1,75 @@
+"""Operational cost model (paper Section V-F).
+
+User cost is dominated by GPU rental: the paper uses the Azure ND H100
+v5 list price (8 GPUs per VM).  Energy cost is computed from a flat
+electricity price and is small in comparison — the paper reports only a
+few dollars per hour of energy savings against >$1000/h of GPU savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices used for the cost comparison.
+
+    Attributes
+    ----------
+    server_price_per_hour:
+        Rental price of one 8-GPU server per hour (ND96isr H100 v5 is
+        roughly $98/h on-demand).
+    electricity_price_per_kwh:
+        Flat electricity price in $/kWh.
+    """
+
+    server_price_per_hour: float = 98.0
+    electricity_price_per_kwh: float = 0.12
+    gpus_per_server: int = 8
+
+    @property
+    def gpu_price_per_hour(self) -> float:
+        return self.server_price_per_hour / self.gpus_per_server
+
+    def gpu_cost(self, gpu_hours: float) -> float:
+        """Rental cost of the consumed GPU-hours."""
+        return gpu_hours * self.gpu_price_per_hour
+
+    def energy_cost(self, energy_kwh: float) -> float:
+        return energy_kwh * self.electricity_price_per_kwh
+
+    def total_cost(self, gpu_hours: float, energy_kwh: float) -> float:
+        return self.gpu_cost(gpu_hours) + self.energy_cost(energy_kwh)
+
+    def summary(self, gpu_hours: float, energy_kwh: float) -> Dict[str, float]:
+        return {
+            "gpu_hours": gpu_hours,
+            "gpu_cost_usd": self.gpu_cost(gpu_hours),
+            "energy_kwh": energy_kwh,
+            "energy_cost_usd": self.energy_cost(energy_kwh),
+            "total_cost_usd": self.total_cost(gpu_hours, energy_kwh),
+        }
+
+    def savings(
+        self,
+        baseline_gpu_hours: float,
+        baseline_energy_kwh: float,
+        optimized_gpu_hours: float,
+        optimized_energy_kwh: float,
+    ) -> Dict[str, float]:
+        """Absolute and relative savings of an optimised run vs a baseline."""
+        baseline_total = self.total_cost(baseline_gpu_hours, baseline_energy_kwh)
+        optimized_total = self.total_cost(optimized_gpu_hours, optimized_energy_kwh)
+        saving = baseline_total - optimized_total
+        return {
+            "baseline_cost_usd": baseline_total,
+            "optimized_cost_usd": optimized_total,
+            "saving_usd": saving,
+            "saving_fraction": saving / baseline_total if baseline_total > 0 else 0.0,
+            "gpu_saving_usd": self.gpu_cost(baseline_gpu_hours - optimized_gpu_hours),
+            "energy_saving_usd": self.energy_cost(
+                baseline_energy_kwh - optimized_energy_kwh
+            ),
+        }

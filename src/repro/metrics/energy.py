@@ -1,0 +1,52 @@
+"""Energy accounting (paper Figures 6, 14, 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.workload.classification import REQUEST_TYPE_NAMES
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates cluster energy, overall and per request type."""
+
+    total_wh: float = 0.0
+    by_type_wh: Dict[str, float] = field(default_factory=dict)
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add_step(self, time: float, energy_wh: float, by_type_wh: Dict[str, float]) -> None:
+        """Record one simulation step's energy."""
+        self.total_wh += energy_wh
+        self.timeline.append((time, energy_wh))
+        for type_name, value in by_type_wh.items():
+            self.by_type_wh[type_name] = self.by_type_wh.get(type_name, 0.0) + value
+
+    @property
+    def total_kwh(self) -> float:
+        return self.total_wh / 1000.0
+
+    def type_breakdown_kwh(self) -> Dict[str, float]:
+        """Energy per request-type bucket in kWh (the Figure 6 stacking)."""
+        return {
+            name: self.by_type_wh.get(name, 0.0) / 1000.0 for name in REQUEST_TYPE_NAMES
+        }
+
+    def binned_kwh(self, bin_seconds: float) -> List[Tuple[float, float]]:
+        """Energy aggregated into fixed bins (the Figure 15 time series)."""
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        bins: Dict[int, float] = {}
+        for time, energy_wh in self.timeline:
+            index = int(time // bin_seconds)
+            bins[index] = bins.get(index, 0.0) + energy_wh
+        return [
+            (index * bin_seconds, bins[index] / 1000.0) for index in sorted(bins)
+        ]
+
+    def savings_vs(self, baseline: "EnergyAccount") -> float:
+        """Fractional energy saving relative to a baseline account."""
+        if baseline.total_wh <= 0:
+            return 0.0
+        return 1.0 - self.total_wh / baseline.total_wh

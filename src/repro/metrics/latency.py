@@ -1,0 +1,105 @@
+"""TTFT / TBT latency statistics (paper Figure 7).
+
+Collects per-request outcomes and reports percentiles and SLO
+attainment, both overall and per request type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.workload.classification import classify_request
+from repro.workload.request import RequestOutcome
+from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates request outcomes and derives latency statistics."""
+
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+
+    def add(self, outcome: RequestOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def extend(self, outcomes: List[RequestOutcome]) -> None:
+        self.outcomes.extend(outcomes)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def squashed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.squashed)
+
+    def _served(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if not o.squashed]
+
+    def ttft_values(self) -> np.ndarray:
+        return np.asarray([o.ttft for o in self._served()], dtype=float)
+
+    def tbt_values(self) -> np.ndarray:
+        return np.asarray([o.tbt for o in self._served()], dtype=float)
+
+    def ttft_percentile(self, percentile: float) -> float:
+        values = self.ttft_values()
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    def tbt_percentile(self, percentile: float) -> float:
+        values = self.tbt_values()
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    def percentile_table(self, percentiles=(50, 90, 99)) -> Dict[str, Dict[int, float]]:
+        """TTFT and TBT at the requested percentiles (Figure 7's rows)."""
+        return {
+            "ttft_s": {int(p): self.ttft_percentile(p) for p in percentiles},
+            "tbt_s": {int(p): self.tbt_percentile(p) for p in percentiles},
+        }
+
+    # ------------------------------------------------------------------
+    def slo_attainment(self) -> float:
+        """Fraction of requests that met both their TTFT and TBT SLOs."""
+        if not self.outcomes:
+            return 1.0
+        met = 0
+        for outcome in self.outcomes:
+            if outcome.squashed:
+                continue
+            request_type = classify_request(outcome.request)
+            slo = self.slo_policy.slo_for(request_type).scaled(
+                max(1.0, outcome.request.slo_scale)
+            )
+            if outcome.meets(slo.ttft_s, slo.tbt_s):
+                met += 1
+        return met / len(self.outcomes)
+
+    def violations(self) -> int:
+        """Number of served requests that violated at least one SLO."""
+        return len(self._served()) - int(round(self.slo_attainment() * len(self.outcomes)))
+
+    # ------------------------------------------------------------------
+    def by_request_type(self) -> Dict[str, "LatencyStats"]:
+        """Split the collected outcomes per request-type bucket."""
+        groups: Dict[str, LatencyStats] = {}
+        for outcome in self.outcomes:
+            name = classify_request(outcome.request).name
+            groups.setdefault(name, LatencyStats(slo_policy=self.slo_policy)).add(outcome)
+        return groups
+
+    def mean_ttft(self) -> float:
+        values = self.ttft_values()
+        return float(values.mean()) if values.size else 0.0
+
+    def mean_tbt(self) -> float:
+        values = self.tbt_values()
+        return float(values.mean()) if values.size else 0.0

@@ -1,0 +1,82 @@
+"""Run summaries: everything an experiment reports about one policy run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.carbon import CarbonIntensityTrace, carbon_emissions_kg
+from repro.metrics.cost import CostModel
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.latency import LatencyStats
+from repro.metrics.power import PowerTimeSeries
+
+
+@dataclass
+class RunSummary:
+    """Aggregated results of one simulated run of a policy on a trace."""
+
+    policy: str
+    trace: str
+    duration_s: float
+    energy: EnergyAccount
+    latency: LatencyStats
+    power: PowerTimeSeries
+    gpu_hours: float = 0.0
+    average_servers: float = 0.0
+    frequency_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    pool_frequency_timeline: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    gpus_by_tp_timeline: List[Tuple[float, Dict[int, int]]] = field(default_factory=list)
+    pool_gpus_by_tp_timeline: Dict[str, List[Tuple[float, Dict[int, int]]]] = field(
+        default_factory=dict
+    )
+    pool_load_timeline: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    squashed_requests: int = 0
+    routed_requests: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy.total_kwh
+
+    @property
+    def mean_power_kw(self) -> float:
+        return self.power.mean_cluster_power() / 1000.0
+
+    def slo_attainment(self) -> float:
+        return self.latency.slo_attainment()
+
+    def carbon_kg(self, intensity: Optional[CarbonIntensityTrace] = None) -> float:
+        intensity = intensity or CarbonIntensityTrace()
+        return carbon_emissions_kg(self.energy.timeline, intensity)
+
+    def cost_usd(self, cost_model: Optional[CostModel] = None) -> float:
+        cost_model = cost_model or CostModel()
+        return cost_model.total_cost(self.gpu_hours, self.energy_kwh)
+
+    def headline(self) -> Dict[str, float]:
+        """Compact scoreboard of the run."""
+        table = self.latency.percentile_table()
+        return {
+            "energy_kwh": self.energy_kwh,
+            "mean_power_kw": self.mean_power_kw,
+            "gpu_hours": self.gpu_hours,
+            "average_servers": self.average_servers,
+            "p50_ttft_s": table["ttft_s"][50],
+            "p99_ttft_s": table["ttft_s"][99],
+            "p50_tbt_s": table["tbt_s"][50],
+            "p99_tbt_s": table["tbt_s"][99],
+            "slo_attainment": self.slo_attainment(),
+            "requests": float(self.latency.count),
+            "squashed": float(self.squashed_requests),
+        }
+
+
+def compare_energy(summaries: Dict[str, RunSummary], baseline: str = "SinglePool") -> Dict[str, float]:
+    """Normalised energy of each policy relative to a baseline run."""
+    if baseline not in summaries:
+        raise KeyError(f"baseline {baseline!r} missing from summaries")
+    base = summaries[baseline].energy.total_wh
+    if base <= 0:
+        return {name: 1.0 for name in summaries}
+    return {name: summary.energy.total_wh / base for name, summary in summaries.items()}

@@ -1,0 +1,38 @@
+"""Analytical energy-performance models.
+
+The paper builds per-model energy/performance profiles by measuring a
+real DGX H100 server under controlled loads (Section IV-A).  This
+package replaces the measurements with an analytical model of LLM
+inference on tensor-parallel GPU groups:
+
+* :mod:`repro.perf.latency_model` — prefill / decode latency, batching,
+  and the feasible operating region of an instance configuration;
+* :mod:`repro.perf.power_model` — GPU and instance power as a function
+  of frequency (DVFS with a voltage floor) and utilisation;
+* :mod:`repro.perf.energy_model` — per-request energy and SLO
+  feasibility at an operating point (the data behind Tables I-III);
+* :mod:`repro.perf.profile` — the profile object the controllers
+  consult, with load interpolation (scipy ``interp1d``);
+* :mod:`repro.perf.profiler` — offline sweep that generates profiles.
+"""
+
+from repro.perf.config import InstanceConfig, WorkloadSlice, TENSOR_PARALLELISMS
+from repro.perf.latency_model import LatencyModel, OperatingPoint
+from repro.perf.power_model import PowerModel
+from repro.perf.energy_model import EnergyModel, EnergySample
+from repro.perf.profile import EnergyPerformanceProfile, ProfileEntry
+from repro.perf.profiler import Profiler
+
+__all__ = [
+    "InstanceConfig",
+    "WorkloadSlice",
+    "TENSOR_PARALLELISMS",
+    "LatencyModel",
+    "OperatingPoint",
+    "PowerModel",
+    "EnergyModel",
+    "EnergySample",
+    "EnergyPerformanceProfile",
+    "ProfileEntry",
+    "Profiler",
+]

@@ -1,0 +1,117 @@
+"""Configuration and workload descriptors shared by the perf models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.llm.gpu import GPUSpec, H100
+from repro.workload.classification import RequestType, representative_lengths
+
+#: Tensor-parallel degrees DynamoLLM considers (Section II: TP2/TP4/TP8).
+TENSOR_PARALLELISMS: Tuple[int, ...] = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """A concrete instance configuration: TP degree and GPU frequency."""
+
+    tensor_parallelism: int
+    frequency_mhz: int
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallelism < 1:
+            raise ValueError(
+                f"tensor parallelism must be >= 1, got {self.tensor_parallelism}"
+            )
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_mhz}")
+
+    @property
+    def tp(self) -> int:
+        return self.tensor_parallelism
+
+    @property
+    def name(self) -> str:
+        return f"TP{self.tensor_parallelism}@{self.frequency_mhz}MHz"
+
+    def with_frequency(self, frequency_mhz: int) -> "InstanceConfig":
+        return InstanceConfig(self.tensor_parallelism, frequency_mhz)
+
+    def with_tp(self, tensor_parallelism: int) -> "InstanceConfig":
+        return InstanceConfig(tensor_parallelism, self.frequency_mhz)
+
+    @staticmethod
+    def highest_performance(gpu: GPUSpec = H100) -> "InstanceConfig":
+        """The baseline configuration: TP8 at the maximum frequency."""
+        return InstanceConfig(8, gpu.max_frequency_mhz)
+
+
+@dataclass(frozen=True)
+class WorkloadSlice:
+    """The workload offered to a single instance.
+
+    A slice is homogeneous: all requests share the same (average)
+    input/output lengths — this is how the paper characterises energy
+    (per request-type buckets) and how pools see their traffic.
+
+    Attributes
+    ----------
+    input_tokens / output_tokens:
+        Average prompt and generation lengths of the slice.
+    prompt_tokens_per_second:
+        Offered load in prompt tokens per second (the paper's TPS
+        metric; Tables I and II use 650 / 2000 / 4000 TPS).
+    slo_scale:
+        SLO relaxation factor carried by the requests.
+    """
+
+    input_tokens: float
+    output_tokens: float
+    prompt_tokens_per_second: float
+    slo_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.input_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("token lengths must be positive")
+        if self.prompt_tokens_per_second < 0:
+            raise ValueError("load must be non-negative")
+
+    @property
+    def arrival_rate(self) -> float:
+        """Requests per second implied by the prompt-token load."""
+        return self.prompt_tokens_per_second / self.input_tokens
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Output tokens per second that must be generated at this load."""
+        return self.arrival_rate * self.output_tokens
+
+    @property
+    def average_context(self) -> float:
+        """Average context length during decode (prompt + half the output)."""
+        return self.input_tokens + self.output_tokens / 2.0
+
+    @classmethod
+    def for_request_type(
+        cls,
+        request_type: RequestType,
+        prompt_tokens_per_second: float,
+        slo_scale: float = 1.0,
+    ) -> "WorkloadSlice":
+        """Workload slice using the bucket's representative lengths."""
+        n_in, n_out = representative_lengths(request_type)
+        return cls(
+            input_tokens=float(n_in),
+            output_tokens=float(n_out),
+            prompt_tokens_per_second=prompt_tokens_per_second,
+            slo_scale=slo_scale,
+        )
+
+    def with_load(self, prompt_tokens_per_second: float) -> "WorkloadSlice":
+        return WorkloadSlice(
+            input_tokens=self.input_tokens,
+            output_tokens=self.output_tokens,
+            prompt_tokens_per_second=prompt_tokens_per_second,
+            slo_scale=self.slo_scale,
+        )

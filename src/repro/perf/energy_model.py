@@ -1,0 +1,203 @@
+"""Per-request energy and SLO feasibility (the data behind Tables I-III).
+
+The energy model combines the latency model (operating point under
+load) with the power model (instance power at that operating point).
+A configuration's energy for a workload slice is the full instance
+power divided by the request completion rate, i.e. the energy the
+instance spends per served request, including its idle share — the same
+attribution the paper's watt-hour heat maps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.llm.catalog import ModelSpec
+from repro.llm.gpu import ServerSpec, DGX_H100
+from repro.perf.config import InstanceConfig, WorkloadSlice, TENSOR_PARALLELISMS
+from repro.perf.latency_model import LatencyModel, OperatingPoint
+from repro.perf.power_model import PowerModel
+from repro.workload.classification import RequestType
+from repro.workload.slo import SLO, SLOPolicy, DEFAULT_SLO_POLICY
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """Energy/performance of one configuration under one workload slice."""
+
+    config: InstanceConfig
+    workload: WorkloadSlice
+    operating_point: OperatingPoint
+    power_watts: float
+    energy_per_request_wh: float
+    meets_slo: bool
+    slo: Optional[SLO]
+
+    @property
+    def feasible(self) -> bool:
+        """Stable *and* SLO-compliant (what the paper's heat maps colour)."""
+        return self.operating_point.feasible and self.meets_slo
+
+    @property
+    def ttft_s(self) -> float:
+        return self.operating_point.ttft_s
+
+    @property
+    def tbt_s(self) -> float:
+        return self.operating_point.tbt_s
+
+
+class EnergyModel:
+    """Evaluates instance configurations for a given model and workload."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        server: ServerSpec = DGX_H100,
+        slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+    ) -> None:
+        self.model = model
+        self.server = server
+        self.slo_policy = slo_policy
+        self.latency = LatencyModel(model, server)
+        self.power = PowerModel(server)
+
+    # ------------------------------------------------------------------
+    # Single-point evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        config: InstanceConfig,
+        workload: WorkloadSlice,
+        slo: Optional[SLO] = None,
+    ) -> EnergySample:
+        """Evaluate a configuration; ``slo`` is optional (None = no SLO check)."""
+        point = self.latency.solve(config, workload)
+        if not point.feasible:
+            power = self.power.instance_power(config.tp, config.frequency_mhz, 1.0)
+            return EnergySample(
+                config=config,
+                workload=workload,
+                operating_point=point,
+                power_watts=power,
+                energy_per_request_wh=float("inf"),
+                meets_slo=False,
+                slo=slo,
+            )
+        power = self.power.instance_power(
+            config.tp, config.frequency_mhz, point.power_activity
+        )
+        arrival_rate = workload.arrival_rate
+        if arrival_rate > 0:
+            energy_wh = power / arrival_rate / 3600.0
+        else:
+            energy_wh = 0.0
+        meets = True
+        if slo is not None:
+            effective = slo.scaled(workload.slo_scale) if workload.slo_scale != 1.0 else slo
+            meets = effective.is_met_by(point.ttft_s, point.tbt_s)
+        return EnergySample(
+            config=config,
+            workload=workload,
+            operating_point=point,
+            power_watts=power,
+            energy_per_request_wh=energy_wh,
+            meets_slo=meets,
+            slo=slo,
+        )
+
+    def evaluate_request_type(
+        self,
+        request_type: RequestType,
+        config: InstanceConfig,
+        prompt_tokens_per_second: float,
+        slo_scale: float = 1.0,
+    ) -> EnergySample:
+        """Evaluate a configuration for a request-type bucket at a load.
+
+        The TTFT check is applied conservatively: the bucket's near-worst-
+        case prompt (not just its representative one) must meet the SLO,
+        which is expressed by tightening the TTFT target by the bucket's
+        worst-case/representative prompt-length ratio.
+        """
+        workload = WorkloadSlice.for_request_type(
+            request_type, prompt_tokens_per_second, slo_scale
+        )
+        slo = self._conservative_slo(request_type)
+        return self.evaluate(config, workload, slo)
+
+    def _conservative_slo(self, request_type: RequestType) -> SLO:
+        from repro.workload.classification import ttft_safety_factor
+
+        slo = self.slo_policy.slo_for(request_type)
+        return SLO(ttft_s=slo.ttft_s / ttft_safety_factor(request_type), tbt_s=slo.tbt_s)
+
+    # ------------------------------------------------------------------
+    # Sweeps (used by the characterisation tables and the profiler)
+    # ------------------------------------------------------------------
+    def sweep_configs(
+        self,
+        request_type: RequestType,
+        prompt_tokens_per_second: float,
+        tensor_parallelisms: Iterable[int] = TENSOR_PARALLELISMS,
+        frequencies: Optional[Iterable[int]] = None,
+        slo_scale: float = 1.0,
+    ) -> Dict[InstanceConfig, EnergySample]:
+        """Evaluate every (TP, frequency) combination for a bucket and load."""
+        if frequencies is None:
+            frequencies = self.server.gpu.frequency_levels()
+        samples: Dict[InstanceConfig, EnergySample] = {}
+        for tp in tensor_parallelisms:
+            for frequency in frequencies:
+                config = InstanceConfig(tp, int(frequency))
+                samples[config] = self.evaluate_request_type(
+                    request_type, config, prompt_tokens_per_second, slo_scale
+                )
+        return samples
+
+    def best_config(
+        self,
+        request_type: RequestType,
+        prompt_tokens_per_second: float,
+        tensor_parallelisms: Iterable[int] = TENSOR_PARALLELISMS,
+        frequencies: Optional[Iterable[int]] = None,
+        slo_scale: float = 1.0,
+    ) -> Optional[EnergySample]:
+        """The minimum-energy SLO-compliant configuration, or None."""
+        samples = self.sweep_configs(
+            request_type,
+            prompt_tokens_per_second,
+            tensor_parallelisms,
+            frequencies,
+            slo_scale,
+        )
+        feasible = [s for s in samples.values() if s.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda s: s.energy_per_request_wh)
+
+    def feasible_configs(
+        self,
+        request_type: RequestType,
+        prompt_tokens_per_second: float,
+        slo_scale: float = 1.0,
+    ) -> List[InstanceConfig]:
+        """All SLO-compliant configurations for a bucket and load."""
+        samples = self.sweep_configs(
+            request_type, prompt_tokens_per_second, slo_scale=slo_scale
+        )
+        return [config for config, sample in samples.items() if sample.feasible]
+
+    def max_load(
+        self,
+        request_type: RequestType,
+        config: InstanceConfig,
+        slo_scale: float = 1.0,
+    ) -> float:
+        """Largest sustainable prompt-token load for a bucket under SLO."""
+        workload = WorkloadSlice.for_request_type(request_type, 1.0, slo_scale)
+        slo = self._conservative_slo(request_type).scaled(slo_scale)
+        return self.latency.max_load(
+            config, workload, ttft_slo_s=slo.ttft_s, tbt_slo_s=slo.tbt_s
+        )

@@ -1,0 +1,208 @@
+"""Energy-performance profiles consulted by the DynamoLLM controllers.
+
+A profile is the output of the (offline) profiling phase: for every
+request type, tensor parallelism and GPU frequency it stores the energy,
+power, TTFT and TBT over a grid of load levels, plus the maximum load
+that still meets the SLO.  At runtime the controllers interpolate
+between profiled load levels — the paper uses SciPy's ``interp1d`` for
+exactly this purpose (Section IV-E) — and never consult the underlying
+analytical model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.interpolate import interp1d
+
+from repro.perf.config import InstanceConfig
+
+
+@dataclass
+class ProfileEntry:
+    """Profiled behaviour of one (request type, TP, frequency) combination."""
+
+    request_type: str
+    tensor_parallelism: int
+    frequency_mhz: int
+    loads: Sequence[float]
+    power_watts: Sequence[float]
+    energy_per_request_wh: Sequence[float]
+    ttft_s: Sequence[float]
+    tbt_s: Sequence[float]
+    max_load_slo: float
+    _power_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
+    _energy_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
+    _ttft_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
+    _tbt_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        loads = np.asarray(self.loads, dtype=float)
+        if loads.size < 2:
+            raise ValueError("a profile entry needs at least two load points")
+        if np.any(np.diff(loads) <= 0):
+            raise ValueError("profile load points must be strictly increasing")
+
+        def build(values: Sequence[float]) -> interp1d:
+            return interp1d(
+                loads,
+                np.asarray(values, dtype=float),
+                kind="linear",
+                bounds_error=False,
+                fill_value=(values[0], values[-1]),
+            )
+
+        self._power_fn = build(self.power_watts)
+        self._energy_fn = build(self.energy_per_request_wh)
+        self._ttft_fn = build(self.ttft_s)
+        self._tbt_fn = build(self.tbt_s)
+
+    @property
+    def config(self) -> InstanceConfig:
+        return InstanceConfig(self.tensor_parallelism, self.frequency_mhz)
+
+    def supports(self, load: float) -> bool:
+        """Whether the configuration meets the SLO at the given load."""
+        return load <= self.max_load_slo
+
+    def power_at(self, load: float) -> float:
+        """Interpolated instance power (W) at the given prompt-token load."""
+        return float(self._power_fn(max(0.0, load)))
+
+    def energy_per_request_at(self, load: float) -> float:
+        return float(self._energy_fn(max(0.0, load)))
+
+    def ttft_at(self, load: float) -> float:
+        return float(self._ttft_fn(max(0.0, load)))
+
+    def tbt_at(self, load: float) -> float:
+        return float(self._tbt_fn(max(0.0, load)))
+
+
+class EnergyPerformanceProfile:
+    """The full profile of one model on one server type.
+
+    Profiles are shared across services using the same model and cached
+    cluster-locally in the real system; here they are plain in-memory
+    objects that can be pickled alongside experiment results.
+    """
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        self._entries: Dict[Tuple[str, int, int], ProfileEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_entry(self, entry: ProfileEntry) -> None:
+        key = (entry.request_type, entry.tensor_parallelism, entry.frequency_mhz)
+        self._entries[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def entry(
+        self, request_type: str, tensor_parallelism: int, frequency_mhz: int
+    ) -> ProfileEntry:
+        key = (request_type, tensor_parallelism, frequency_mhz)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"profile for {self.model_name} has no entry for "
+                f"type={request_type} TP={tensor_parallelism} f={frequency_mhz}MHz"
+            ) from None
+
+    def has_entry(
+        self, request_type: str, tensor_parallelism: int, frequency_mhz: int
+    ) -> bool:
+        return (request_type, tensor_parallelism, frequency_mhz) in self._entries
+
+    def request_types(self) -> List[str]:
+        return sorted({key[0] for key in self._entries})
+
+    def tensor_parallelisms(self, request_type: str) -> List[int]:
+        return sorted({key[1] for key in self._entries if key[0] == request_type})
+
+    def frequencies(self, request_type: str, tensor_parallelism: int) -> List[int]:
+        return sorted(
+            {
+                key[2]
+                for key in self._entries
+                if key[0] == request_type and key[1] == tensor_parallelism
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Queries used by the controllers
+    # ------------------------------------------------------------------
+    def max_load(
+        self, request_type: str, tensor_parallelism: int, frequency_mhz: int
+    ) -> float:
+        """Maximum per-instance load meeting the SLO for this configuration."""
+        return self.entry(request_type, tensor_parallelism, frequency_mhz).max_load_slo
+
+    def power(
+        self,
+        request_type: str,
+        tensor_parallelism: int,
+        frequency_mhz: int,
+        load: float,
+    ) -> float:
+        return self.entry(request_type, tensor_parallelism, frequency_mhz).power_at(load)
+
+    def supports(
+        self,
+        request_type: str,
+        tensor_parallelism: int,
+        frequency_mhz: int,
+        load: float,
+    ) -> bool:
+        return self.entry(request_type, tensor_parallelism, frequency_mhz).supports(load)
+
+    def best_frequency(
+        self,
+        request_type: str,
+        tensor_parallelism: int,
+        load: float,
+        frequencies: Optional[Iterable[int]] = None,
+    ) -> Optional[int]:
+        """Lowest-power SLO-compliant frequency for a TP degree and load.
+
+        This is the instance-manager decision: filter out frequencies
+        that violate the SLO at the current load, then pick the one that
+        minimises power (equivalently energy, since the load is fixed).
+        """
+        if frequencies is None:
+            frequencies = self.frequencies(request_type, tensor_parallelism)
+        best: Optional[int] = None
+        best_power = float("inf")
+        for frequency in frequencies:
+            if not self.has_entry(request_type, tensor_parallelism, frequency):
+                continue
+            entry = self.entry(request_type, tensor_parallelism, frequency)
+            if not entry.supports(load):
+                continue
+            power = entry.power_at(load)
+            if power < best_power:
+                best_power = power
+                best = frequency
+        return best
+
+    def instance_energy_rate(
+        self,
+        request_type: str,
+        tensor_parallelism: int,
+        frequency_mhz: int,
+        load: float,
+    ) -> float:
+        """Instance power (W == J/s) when serving ``load``; inf if SLO-violating."""
+        entry = self.entry(request_type, tensor_parallelism, frequency_mhz)
+        if not entry.supports(load):
+            return float("inf")
+        return entry.power_at(load)

@@ -1,0 +1,179 @@
+"""Offline profiling phase (Section IV-A, "Generating LLM profiles").
+
+When a service is on-boarded, DynamoLLM profiles its model by running
+loads of different request lengths at different model parallelisms
+(TP2/4/8) and GPU frequencies (800-1980 MHz in 200 MHz steps), and a few
+load levels, then interpolates between them.  Here the measurements come
+from the analytical :class:`~repro.perf.energy_model.EnergyModel`; the
+resulting :class:`~repro.perf.profile.EnergyPerformanceProfile` has the
+same shape a measured profile would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.llm.catalog import ModelSpec
+from repro.llm.gpu import ServerSpec, DGX_H100
+from repro.perf.config import InstanceConfig, TENSOR_PARALLELISMS
+from repro.perf.energy_model import EnergyModel
+from repro.perf.profile import EnergyPerformanceProfile, ProfileEntry
+from repro.workload.classification import REQUEST_TYPE_NAMES, RequestType
+from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+
+#: Default per-instance load grid in prompt tokens per second.
+DEFAULT_LOAD_GRID: Tuple[float, ...] = (
+    0.0,
+    250.0,
+    500.0,
+    1000.0,
+    1500.0,
+    2000.0,
+    3000.0,
+    4000.0,
+    6000.0,
+    8000.0,
+)
+
+
+@dataclass
+class Profiler:
+    """Builds energy-performance profiles for a model.
+
+    Parameters
+    ----------
+    model:
+        Model to profile.
+    server:
+        Server type the profile applies to.
+    slo_policy:
+        SLO policy used to mark configurations (in)feasible per load.
+    load_grid:
+        Per-instance prompt-token loads to profile; behaviour between
+        grid points is interpolated at query time.
+    """
+
+    model: ModelSpec
+    server: ServerSpec = DGX_H100
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY
+    load_grid: Sequence[float] = DEFAULT_LOAD_GRID
+    _cache: Dict[Tuple[str, float], EnergyPerformanceProfile] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def build_profile(
+        self,
+        request_types: Optional[Iterable[str]] = None,
+        tensor_parallelisms: Iterable[int] = TENSOR_PARALLELISMS,
+        frequencies: Optional[Iterable[int]] = None,
+        slo_scale: float = 1.0,
+    ) -> EnergyPerformanceProfile:
+        """Profile the model over request types, TP degrees and frequencies."""
+        if request_types is None:
+            request_types = REQUEST_TYPE_NAMES
+        if frequencies is None:
+            frequencies = self.server.gpu.frequency_levels()
+        energy_model = EnergyModel(self.model, self.server, self.slo_policy)
+        profile = EnergyPerformanceProfile(self.model.name)
+        for type_name in request_types:
+            request_type = RequestType.from_name(type_name)
+            slo = energy_model._conservative_slo(request_type).scaled(slo_scale)
+            for tp in tensor_parallelisms:
+                for frequency in frequencies:
+                    config = InstanceConfig(tp, int(frequency))
+                    entry = self._profile_entry(
+                        energy_model, request_type, config, slo, slo_scale
+                    )
+                    profile.add_entry(entry)
+        return profile
+
+    def cached_profile(self, slo_scale: float = 1.0) -> EnergyPerformanceProfile:
+        """Build (or reuse) the default full profile for this model.
+
+        Mirrors the paper's global profile repository: profiles are
+        computed once per (model, SLO) pair and reused across services.
+        """
+        key = (self.model.name, slo_scale)
+        if key not in self._cache:
+            self._cache[key] = self.build_profile(slo_scale=slo_scale)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    def _profile_entry(
+        self,
+        energy_model: EnergyModel,
+        request_type: RequestType,
+        config: InstanceConfig,
+        slo,
+        slo_scale: float,
+    ) -> ProfileEntry:
+        loads = list(self.load_grid)
+        power = []
+        energy = []
+        ttft = []
+        tbt = []
+        max_supported = 0.0
+        previous_feasible_power = None
+        for load in loads:
+            sample = energy_model.evaluate_request_type(
+                request_type, config, load, slo_scale=1.0
+            )
+            point = sample.operating_point
+            if point.feasible:
+                power.append(sample.power_watts)
+                energy.append(
+                    sample.energy_per_request_wh if load > 0 else 0.0
+                )
+                ttft.append(point.ttft_s)
+                tbt.append(point.tbt_s)
+                previous_feasible_power = sample.power_watts
+                if slo.is_met_by(point.ttft_s, point.tbt_s):
+                    max_supported = max(max_supported, load)
+            else:
+                # Saturated: clamp to the last feasible values so the
+                # interpolator stays monotone; the SLO limit already
+                # excludes this region from being selected.
+                fallback_power = (
+                    previous_feasible_power
+                    if previous_feasible_power is not None
+                    else energy_model.power.instance_power(
+                        config.tp, config.frequency_mhz, 1.0
+                    )
+                )
+                power.append(fallback_power)
+                energy.append(energy[-1] if energy else float("inf"))
+                ttft.append(float("inf"))
+                tbt.append(float("inf"))
+        # Refine the SLO boundary between the last supported grid point and
+        # the next one with a short binary search.
+        max_load = energy_model.max_load(request_type, config, slo_scale=slo_scale)
+        max_supported = max(max_supported, 0.0)
+        max_load = max(max_load, max_supported)
+        return ProfileEntry(
+            request_type=request_type.name,
+            tensor_parallelism=config.tp,
+            frequency_mhz=config.frequency_mhz,
+            loads=loads,
+            power_watts=power,
+            energy_per_request_wh=energy,
+            ttft_s=ttft,
+            tbt_s=tbt,
+            max_load_slo=max_load,
+        )
+
+
+_PROFILE_CACHE: Dict[Tuple[str, float], EnergyPerformanceProfile] = {}
+
+
+def get_default_profile(
+    model: ModelSpec,
+    server: ServerSpec = DGX_H100,
+    slo_scale: float = 1.0,
+) -> EnergyPerformanceProfile:
+    """Module-level cached profile (the "global profile repository")."""
+    key = (model.name, slo_scale)
+    if key not in _PROFILE_CACHE:
+        profiler = Profiler(model=model, server=server)
+        _PROFILE_CACHE[key] = profiler.build_profile(slo_scale=slo_scale)
+    return _PROFILE_CACHE[key]

@@ -1,0 +1,47 @@
+"""The six evaluated systems (Section V-A).
+
+* ``SinglePool`` — state-of-the-practice baseline: one pool, statically
+  provisioned for the peak, TP8 at the maximum GPU frequency.
+* ``MultiPool`` — per-request-type pools, still statically provisioned
+  at the highest-performance configuration.
+* ``ScaleInst`` / ``ScaleShard`` / ``ScaleFreq`` — MultiPool plus exactly
+  one dynamic knob (instance count, model parallelism, GPU frequency).
+* ``DynamoLLM`` — all knobs, plus proactive provisioning, fragmentation
+  handling, overhead-aware staggered reconfiguration and emergency
+  handling.
+
+Each policy is described by a :class:`~repro.policies.base.PolicySpec`
+and materialised into a :class:`~repro.core.framework.DynamoLLM`
+controller by :func:`~repro.policies.base.build_policy`.
+"""
+
+from repro.policies.base import PolicySpec, build_policy, POLICY_REGISTRY, get_policy_spec
+from repro.policies.single_pool import SINGLE_POOL
+from repro.policies.multi_pool import MULTI_POOL
+from repro.policies.scale_inst import SCALE_INST
+from repro.policies.scale_shard import SCALE_SHARD
+from repro.policies.scale_freq import SCALE_FREQ
+from repro.policies.dynamo import DYNAMO_LLM
+
+ALL_POLICIES = (
+    SINGLE_POOL,
+    MULTI_POOL,
+    SCALE_INST,
+    SCALE_SHARD,
+    SCALE_FREQ,
+    DYNAMO_LLM,
+)
+
+__all__ = [
+    "PolicySpec",
+    "build_policy",
+    "POLICY_REGISTRY",
+    "get_policy_spec",
+    "SINGLE_POOL",
+    "MULTI_POOL",
+    "SCALE_INST",
+    "SCALE_SHARD",
+    "SCALE_FREQ",
+    "DYNAMO_LLM",
+    "ALL_POLICIES",
+]

@@ -1,0 +1,103 @@
+"""Policy specifications and the factory turning them into controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.cluster import GPUCluster
+from repro.core.framework import ControllerEpochs, ControllerKnobs, DynamoLLM
+from repro.llm.catalog import ModelSpec
+from repro.perf.profile import EnergyPerformanceProfile
+from repro.workload.classification import (
+    ClassificationScheme,
+    DEFAULT_SCHEME,
+    REQUEST_TYPE_NAMES,
+)
+from repro.workload.load_predictor import TemplateLoadPredictor
+from repro.workload.predictor import OutputLengthPredictor
+from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+
+#: Single-pool classification: all nine buckets share one pool.
+SINGLE_POOL_SCHEME = ClassificationScheme(
+    name="1pool", groups=(tuple(REQUEST_TYPE_NAMES),)
+)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative description of one evaluated system."""
+
+    name: str
+    multi_pool: bool
+    scale_instances: bool
+    scale_sharding: bool
+    scale_frequency: bool
+    proactive_provisioning: bool = False
+    fragmentation_handling: bool = False
+    overhead_aware: bool = False
+    emergency_handling: bool = False
+    optimized_frequency_switching: bool = True
+
+    def knobs(self) -> ControllerKnobs:
+        return ControllerKnobs(
+            scale_instances=self.scale_instances,
+            scale_sharding=self.scale_sharding,
+            scale_frequency=self.scale_frequency,
+            fragmentation_handling=self.fragmentation_handling,
+            overhead_aware=self.overhead_aware,
+            staggered_reconfiguration=True,
+            emergency_handling=self.emergency_handling,
+        )
+
+    def scheme(self, override: Optional[ClassificationScheme] = None) -> ClassificationScheme:
+        if override is not None and self.multi_pool:
+            return override
+        return DEFAULT_SCHEME if self.multi_pool else SINGLE_POOL_SCHEME
+
+
+#: Registry filled in by the per-policy modules at import time.
+POLICY_REGISTRY: Dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec) -> PolicySpec:
+    POLICY_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_policy_spec(name: str) -> PolicySpec:
+    try:
+        return POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known policies: {known}") from None
+
+
+def build_policy(
+    spec: PolicySpec,
+    model: ModelSpec,
+    cluster: GPUCluster,
+    profile: EnergyPerformanceProfile,
+    static_servers: int,
+    expected_load_fractions: Optional[Dict[str, float]] = None,
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+    predictor: Optional[OutputLengthPredictor] = None,
+    load_predictor: Optional[TemplateLoadPredictor] = None,
+    scheme: Optional[ClassificationScheme] = None,
+    epochs: Optional[ControllerEpochs] = None,
+) -> DynamoLLM:
+    """Materialise a policy spec into a configured controller."""
+    return DynamoLLM(
+        model=model,
+        cluster=cluster,
+        profile=profile,
+        scheme=spec.scheme(scheme),
+        slo_policy=slo_policy,
+        predictor=predictor,
+        load_predictor=load_predictor,
+        knobs=spec.knobs(),
+        epochs=epochs or ControllerEpochs(),
+        static_servers=static_servers,
+        expected_load_fractions=expected_load_fractions,
+        name=spec.name,
+    )

@@ -1,0 +1,23 @@
+"""DynamoLLM: all knobs enabled (the paper's full system).
+
+Per-request-type pools, dynamic instance counts with proactive
+provisioning, dynamic tensor parallelism with overhead-aware staggered
+re-sharding, dynamic per-instance GPU frequency, fragmentation handling
+across pools, and emergency handling for mis-predictions.
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+DYNAMO_LLM = register_policy(
+    PolicySpec(
+        name="DynamoLLM",
+        multi_pool=True,
+        scale_instances=True,
+        scale_sharding=True,
+        scale_frequency=True,
+        proactive_provisioning=True,
+        fragmentation_handling=True,
+        overhead_aware=True,
+        emergency_handling=True,
+    )
+)

@@ -1,0 +1,19 @@
+"""MultiPool: per-request-type pools without dynamic reconfiguration.
+
+Requests are separated by type into dedicated pools, which removes
+head-of-line blocking, but every pool is still provisioned statically at
+the highest-performance configuration (TP8, maximum frequency), so the
+total energy grows relative to SinglePool (about +20% in the paper).
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+MULTI_POOL = register_policy(
+    PolicySpec(
+        name="MultiPool",
+        multi_pool=True,
+        scale_instances=False,
+        scale_sharding=False,
+        scale_frequency=False,
+    )
+)

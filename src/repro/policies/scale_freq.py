@@ -1,0 +1,17 @@
+"""ScaleFreq: MultiPool plus dynamic GPU frequency scaling.
+
+Instance managers re-tune the GPU frequency every few seconds to the
+lowest SLO-compliant setting for the current load.
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+SCALE_FREQ = register_policy(
+    PolicySpec(
+        name="ScaleFreq",
+        multi_pool=True,
+        scale_instances=False,
+        scale_sharding=False,
+        scale_frequency=True,
+    )
+)

@@ -1,0 +1,20 @@
+"""ScaleInst: MultiPool plus dynamic instance-count scaling.
+
+The number of instances per pool follows the current load, but scaling
+happens reactively on the critical path (no proactive provisioning), so
+new servers pay the full cold-boot overhead of Table V — which is why
+the paper observes higher tail latency for this baseline.
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+SCALE_INST = register_policy(
+    PolicySpec(
+        name="ScaleInst",
+        multi_pool=True,
+        scale_instances=True,
+        scale_sharding=False,
+        scale_frequency=False,
+        proactive_provisioning=False,
+    )
+)

@@ -1,0 +1,18 @@
+"""ScaleShard: MultiPool plus dynamic model-parallelism scaling.
+
+Each pool keeps its static GPU budget but re-shards its instances (TP2 /
+TP4 / TP8) to match the current load, using the minimal-movement
+re-sharding plan.
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+SCALE_SHARD = register_policy(
+    PolicySpec(
+        name="ScaleShard",
+        multi_pool=True,
+        scale_instances=False,
+        scale_sharding=True,
+        scale_frequency=False,
+    )
+)

@@ -1,0 +1,17 @@
+"""SinglePool: the state-of-the-practice baseline (Section V-A).
+
+All requests share one pool of instances, statically provisioned for the
+peak load, every instance running TP8 at the highest GPU frequency.
+"""
+
+from repro.policies.base import PolicySpec, register_policy
+
+SINGLE_POOL = register_policy(
+    PolicySpec(
+        name="SinglePool",
+        multi_pool=False,
+        scale_instances=False,
+        scale_sharding=False,
+        scale_frequency=False,
+    )
+)

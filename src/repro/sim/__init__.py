@@ -1,0 +1,23 @@
+"""Small discrete-time simulation kernel used by the cluster simulator.
+
+The paper evaluates DynamoLLM both on a real cluster and with a
+discrete-time simulator (Section V-E).  This package provides the
+simulation primitives shared by every experiment in this reproduction:
+a simulation clock, deterministic random number management, periodic
+actions (the controller epochs), and a structured event log.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventLog
+from repro.sim.rng import RngStream, make_rng
+from repro.sim.schedule import PeriodicAction, PeriodicScheduler
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventLog",
+    "RngStream",
+    "make_rng",
+    "PeriodicAction",
+    "PeriodicScheduler",
+]

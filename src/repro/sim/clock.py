@@ -1,0 +1,70 @@
+"""Simulation clock.
+
+The cluster simulator advances in fixed-size steps (discrete time).  The
+clock tracks the current simulated time and provides helpers to convert
+between steps and seconds so that controllers, traces, and metrics all
+agree on a single notion of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock is advanced or rewound incorrectly."""
+
+
+@dataclass
+class SimClock:
+    """Discrete simulation clock.
+
+    Parameters
+    ----------
+    time_step:
+        Duration of a single simulation step in seconds.
+    start_time:
+        Simulated wall-clock time (seconds) at step 0.  Traces use
+        seconds since their own origin, so this is usually 0.
+    """
+
+    time_step: float = 1.0
+    start_time: float = 0.0
+    _step: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.time_step <= 0:
+            raise ClockError(f"time_step must be positive, got {self.time_step}")
+
+    @property
+    def step(self) -> int:
+        """Number of completed steps since the clock was created."""
+        return self._step
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.start_time + self._step * self.time_step
+
+    def advance(self, steps: int = 1) -> float:
+        """Advance the clock by ``steps`` steps and return the new time."""
+        if steps < 0:
+            raise ClockError("cannot advance the clock by a negative number of steps")
+        self._step += steps
+        return self.now
+
+    def time_of_step(self, step: int) -> float:
+        """Return the simulated time at the beginning of ``step``."""
+        return self.start_time + step * self.time_step
+
+    def step_of_time(self, time_s: float) -> int:
+        """Return the step index that contains the simulated time ``time_s``."""
+        if time_s < self.start_time:
+            raise ClockError(
+                f"time {time_s} precedes the clock start {self.start_time}"
+            )
+        return int((time_s - self.start_time) // self.time_step)
+
+    def reset(self) -> None:
+        """Rewind the clock to step 0 (used when re-running an experiment)."""
+        self._step = 0

@@ -1,0 +1,79 @@
+"""Structured event log for simulation runs.
+
+Controllers and the cluster simulator emit events (reconfigurations,
+emergencies, scale decisions).  The log is used by tests and by the
+figure drivers that plot behaviour over time (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time in seconds.
+    kind:
+        Short machine-readable event category, e.g. ``"reshard"``,
+        ``"scale_out"``, ``"freq_change"``, ``"emergency"``.
+    source:
+        Name of the component that emitted the event.
+    payload:
+        Arbitrary extra data describing the event.
+    """
+
+    time: float
+    kind: str
+    source: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only list of :class:`Event` with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def emit(self, time: float, kind: str, source: str, **payload: Any) -> Event:
+        """Record and return a new event."""
+        event = Event(time=time, kind=kind, source=source, payload=dict(payload))
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events with the given ``kind``."""
+        return [event for event in self._events if event.kind == kind]
+
+    def between(self, start: float, end: float) -> List[Event]:
+        """Events with ``start <= time < end``."""
+        return [event for event in self._events if start <= event.time < end]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of events, optionally restricted to one kind."""
+        if kind is None:
+            return len(self._events)
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        """The most recent event (of ``kind`` if given), or ``None``."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,89 @@
+"""Periodic actions.
+
+DynamoLLM's controllers run at different epochs: the cluster manager
+re-evaluates instance counts every ~30 minutes, the pool manager
+re-shards every ~5 minutes, and the instance manager re-tunes the GPU
+frequency every ~5 seconds (Section IV-B).  ``PeriodicScheduler`` keeps
+track of which controller actions are due at a given simulation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class PeriodicAction:
+    """A callback fired every ``period`` seconds of simulated time.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (used in event logs and error messages).
+    period:
+        Interval between invocations in seconds.
+    callback:
+        Called as ``callback(now)`` whenever the action is due.
+    offset:
+        Time of the first invocation.  Defaults to firing at time 0.
+    """
+
+    name: str
+    period: float
+    callback: Callable[[float], None]
+    offset: float = 0.0
+    _next_due: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period for action {self.name!r} must be positive")
+        self._next_due = self.offset
+
+    @property
+    def next_due(self) -> float:
+        return self._next_due
+
+    def maybe_fire(self, now: float) -> bool:
+        """Fire the callback if the action is due at time ``now``.
+
+        Returns ``True`` when the callback ran.  If the simulation stepped
+        over several periods at once the action still fires only once and
+        the next due time is advanced past ``now``.
+        """
+        if now + 1e-9 < self._next_due:
+            return False
+        self.callback(now)
+        while self._next_due <= now + 1e-9:
+            self._next_due += self.period
+        return True
+
+
+class PeriodicScheduler:
+    """A collection of :class:`PeriodicAction` fired in registration order."""
+
+    def __init__(self) -> None:
+        self._actions: List[PeriodicAction] = []
+
+    def add(
+        self,
+        name: str,
+        period: float,
+        callback: Callable[[float], None],
+        offset: float = 0.0,
+    ) -> PeriodicAction:
+        action = PeriodicAction(name=name, period=period, callback=callback, offset=offset)
+        self._actions.append(action)
+        return action
+
+    @property
+    def actions(self) -> List[PeriodicAction]:
+        return list(self._actions)
+
+    def tick(self, now: float) -> List[str]:
+        """Fire every due action; return the names of the actions that ran."""
+        fired = []
+        for action in self._actions:
+            if action.maybe_fire(now):
+                fired.append(action.name)
+        return fired

@@ -1,0 +1,67 @@
+"""Workload modelling: requests, classification, traces and predictors.
+
+This package covers everything the controllers know about the incoming
+work: the request abstraction, the 9-bucket length classification and
+per-bucket SLOs (paper Table IV), synthetic production-like traces for
+the Coding and Conversation services (paper Figures 1 and 2), Poisson
+open-loop arrival generation (Figure 12), the output-length predictor
+(Section IV-D, Figure 11) and the template-based load predictor.
+"""
+
+from repro.workload.request import Request, RequestOutcome
+from repro.workload.classification import (
+    LengthClass,
+    RequestType,
+    REQUEST_TYPES,
+    ClassificationScheme,
+    DEFAULT_SCHEME,
+    classify_length,
+    classify_request,
+)
+from repro.workload.slo import SLO, SLOPolicy, DEFAULT_SLO_POLICY, SLO_SCALE_STRICT
+from repro.workload.traces import Trace, TraceBin, bin_trace, load_trace_csv, save_trace_csv
+from repro.workload.synthetic import (
+    ServiceProfile,
+    CODING_PROFILE,
+    CONVERSATION_PROFILE,
+    SyntheticTraceGenerator,
+    make_week_trace,
+    make_day_trace,
+    make_one_hour_trace,
+)
+from repro.workload.arrival import PoissonArrivalGenerator, LoadLevel, LOAD_LEVELS
+from repro.workload.predictor import OutputLengthPredictor
+from repro.workload.load_predictor import TemplateLoadPredictor
+
+__all__ = [
+    "Request",
+    "RequestOutcome",
+    "LengthClass",
+    "RequestType",
+    "REQUEST_TYPES",
+    "ClassificationScheme",
+    "DEFAULT_SCHEME",
+    "classify_length",
+    "classify_request",
+    "SLO",
+    "SLOPolicy",
+    "DEFAULT_SLO_POLICY",
+    "SLO_SCALE_STRICT",
+    "Trace",
+    "TraceBin",
+    "bin_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+    "ServiceProfile",
+    "CODING_PROFILE",
+    "CONVERSATION_PROFILE",
+    "SyntheticTraceGenerator",
+    "make_week_trace",
+    "make_day_trace",
+    "make_one_hour_trace",
+    "PoissonArrivalGenerator",
+    "LoadLevel",
+    "LOAD_LEVELS",
+    "OutputLengthPredictor",
+    "TemplateLoadPredictor",
+]

@@ -1,0 +1,123 @@
+"""Open-loop Poisson arrival generation (Figure 12 sensitivity study).
+
+The paper generates Low, Medium and High load levels with Poisson
+inter-arrival times.  The load levels correspond to the prompt-token
+throughputs the characterisation uses: roughly 650, 2000 and 4000
+prompt tokens per second (Tables I and II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.rng import RngStream
+from repro.workload.classification import REQUEST_TYPE_NAMES, representative_lengths, RequestType
+from repro.workload.request import Request
+from repro.workload.synthetic import ServiceProfile, CONVERSATION_PROFILE
+from repro.workload.traces import Trace
+
+
+@dataclass(frozen=True)
+class LoadLevel:
+    """A named load level expressed in prompt tokens per second."""
+
+    name: str
+    prompt_tokens_per_second: float
+
+
+#: Load levels used by the characterisation (Table II) and Figure 12.
+LOAD_LEVELS: Dict[str, LoadLevel] = {
+    "low": LoadLevel("low", 650.0),
+    "medium": LoadLevel("medium", 2000.0),
+    "high": LoadLevel("high", 4000.0),
+}
+
+
+def get_load_level(name: str) -> LoadLevel:
+    try:
+        return LOAD_LEVELS[name]
+    except KeyError:
+        known = ", ".join(sorted(LOAD_LEVELS))
+        raise KeyError(f"unknown load level {name!r}; known levels: {known}") from None
+
+
+@dataclass
+class PoissonArrivalGenerator:
+    """Generates constant-rate Poisson traces at a target token load.
+
+    Parameters
+    ----------
+    profile:
+        Service profile supplying the length distributions; defaults to
+        Conversation (the service the characterisation is based on).
+    seed:
+        RNG seed.
+    """
+
+    profile: ServiceProfile = CONVERSATION_PROFILE
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        self._rng = RngStream(self.seed, f"poisson/{self.profile.name}")
+
+    def _mean_prompt_tokens(self, request_type: Optional[str]) -> float:
+        if request_type is not None:
+            return float(representative_lengths(RequestType.from_name(request_type))[0])
+        # Mean of the service's log-normal prompt distribution.
+        import math
+
+        return self.profile.input_median * math.exp(self.profile.input_sigma ** 2 / 2.0)
+
+    def generate(
+        self,
+        load: LoadLevel,
+        duration_s: float,
+        request_type: Optional[str] = None,
+        slo_scale: float = 1.0,
+    ) -> Trace:
+        """Create a trace whose prompt-token rate matches ``load``.
+
+        If ``request_type`` is given, every request uses that bucket's
+        representative lengths (this is how the per-bucket heat-map rows
+        of Table I are exercised); otherwise lengths follow the service
+        profile.
+        """
+        mean_prompt = self._mean_prompt_tokens(request_type)
+        arrival_rate = load.prompt_tokens_per_second / mean_prompt
+        rng = self._rng.generator
+        requests: List[Request] = []
+        time = 0.0
+        while True:
+            time += float(rng.exponential(1.0 / arrival_rate))
+            if time >= duration_s:
+                break
+            n_in, n_out = self._sample_lengths(request_type, rng)
+            requests.append(
+                Request(
+                    arrival_time=time,
+                    input_tokens=n_in,
+                    output_tokens=n_out,
+                    service=self.profile.name,
+                    slo_scale=slo_scale,
+                )
+            )
+        name = f"poisson-{load.name}" + (f"-{request_type}" if request_type else "")
+        return Trace(name=name, requests=requests)
+
+    def _sample_lengths(self, request_type: Optional[str], rng) -> Tuple[int, int]:
+        import math
+
+        if request_type is not None:
+            base_in, base_out = representative_lengths(RequestType.from_name(request_type))
+            # Small jitter keeps the bucket while avoiding identical requests.
+            n_in = max(4, int(round(base_in * rng.uniform(0.85, 1.15))))
+            n_out = max(2, int(round(base_out * rng.uniform(0.85, 1.15))))
+            return n_in, n_out
+        n_in = int(
+            max(4, min(self.profile.max_input_tokens, rng.lognormal(math.log(self.profile.input_median), self.profile.input_sigma)))
+        )
+        n_out = int(
+            max(2, min(self.profile.max_output_tokens, rng.lognormal(math.log(self.profile.output_median), self.profile.output_sigma)))
+        )
+        return n_in, n_out

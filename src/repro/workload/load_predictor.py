@@ -1,0 +1,79 @@
+"""Template-based load prediction.
+
+DynamoLLM's cluster manager forecasts the per-request-type load for the
+next scheduling epoch using lightweight load templates built from
+historical data (Section IV-B, following SmartOClock).  The template
+stores, for each (weekday-hour or weekend-hour, request type) slot, the
+typical load observed in previous weeks; the forecast for the next epoch
+is the template value for the corresponding slot, blended with the most
+recent observation to track drift.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+@dataclass
+class TemplateLoadPredictor:
+    """Per-request-type load forecaster.
+
+    Parameters
+    ----------
+    blend:
+        Weight of the historical template vs. the latest observation.
+        1.0 means pure template, 0.0 means last-value prediction.
+    headroom:
+        Multiplicative safety margin applied to forecasts so that the
+        cluster manager provisions for the predicted *peak* rather than
+        the mean (the paper provisions per-epoch peak load).
+    """
+
+    blend: float = 0.5
+    headroom: float = 1.15
+    _template: Dict[Tuple[int, str], float] = field(default_factory=dict, init=False)
+    _counts: Dict[Tuple[int, str], int] = field(default_factory=lambda: defaultdict(int), init=False)
+    _last_observation: Dict[str, float] = field(default_factory=dict, init=False)
+
+    @staticmethod
+    def _slot(time_s: float) -> int:
+        """Template slot: hour-of-week folded into weekday/weekend hours."""
+        day = int(time_s // SECONDS_PER_DAY) % 7
+        hour = int((time_s % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+        is_weekend = 1 if day >= 5 else 0
+        return is_weekend * 24 + hour
+
+    def observe(self, time_s: float, request_type: str, load: float) -> None:
+        """Record the observed load (tokens/s) of a request type."""
+        slot = self._slot(time_s)
+        key = (slot, request_type)
+        count = self._counts[key]
+        previous = self._template.get(key, load)
+        # Running mean per slot.
+        self._template[key] = (previous * count + load) / (count + 1)
+        self._counts[key] = count + 1
+        self._last_observation[request_type] = load
+
+    def predict(self, time_s: float, request_type: str) -> float:
+        """Forecast the load (tokens/s) for the epoch starting at ``time_s``."""
+        slot = self._slot(time_s)
+        template_value: Optional[float] = self._template.get((slot, request_type))
+        last_value = self._last_observation.get(request_type)
+        if template_value is None and last_value is None:
+            return 0.0
+        if template_value is None:
+            forecast = last_value
+        elif last_value is None:
+            forecast = template_value
+        else:
+            forecast = self.blend * template_value + (1.0 - self.blend) * last_value
+        return float(forecast) * self.headroom
+
+    def predict_all(self, time_s: float, request_types) -> Dict[str, float]:
+        """Forecasts for every request type in ``request_types``."""
+        return {name: self.predict(time_s, name) for name in request_types}

@@ -1,0 +1,90 @@
+"""Output-length prediction (Section IV-D).
+
+The real system uses a BERT-based proxy model that classifies the
+expected output length of a request as short, medium or long.  The
+prediction is what steers a request to an instance pool; the true
+length only becomes known as the request executes.
+
+For the reproduction we model the predictor as an *accuracy-
+parameterised oracle*: with probability ``accuracy`` it returns the true
+output class, otherwise it returns a neighbouring class (bounded error,
+exactly the error model of the Figure 11 sensitivity study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.rng import RngStream
+from repro.workload.classification import (
+    LengthClass,
+    RequestType,
+    classify_length,
+)
+from repro.workload.request import Request
+
+_CLASS_ORDER = (LengthClass.SHORT, LengthClass.MEDIUM, LengthClass.LONG)
+
+
+@dataclass
+class OutputLengthPredictor:
+    """Predicts the request type (input class is known, output is guessed).
+
+    Parameters
+    ----------
+    accuracy:
+        Probability that the output-length class is predicted correctly.
+        The remaining probability mass is split between the adjacent
+        classes (bounded misclassification).
+    seed:
+        RNG seed for the error injection.
+    """
+
+    accuracy: float = 1.0
+    seed: int = 23
+    _rng: RngStream = field(init=False, repr=False)
+    _stats: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+        self._rng = RngStream(self.seed, "output-length-predictor")
+        self._stats = {"total": 0, "correct": 0, "over": 0, "under": 0}
+
+    def predict(self, request: Request) -> RequestType:
+        """Predict the request type; input length is always exact."""
+        true_type = classify_length(request.input_tokens, request.output_tokens)
+        self._stats["total"] += 1
+        if self.accuracy >= 1.0 or self._rng.random() < self.accuracy:
+            self._stats["correct"] += 1
+            return true_type
+        predicted_output = self._perturb(true_type.output_class)
+        if _CLASS_ORDER.index(predicted_output) > _CLASS_ORDER.index(true_type.output_class):
+            self._stats["over"] += 1
+        else:
+            self._stats["under"] += 1
+        return RequestType(true_type.input_class, predicted_output)
+
+    def _perturb(self, true_class: LengthClass) -> LengthClass:
+        """Return a neighbouring (incorrect) output class."""
+        index = _CLASS_ORDER.index(true_class)
+        candidates = []
+        if index > 0:
+            candidates.append(_CLASS_ORDER[index - 1])
+        if index < len(_CLASS_ORDER) - 1:
+            candidates.append(_CLASS_ORDER[index + 1])
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    @property
+    def observed_accuracy(self) -> float:
+        """Fraction of predictions that were correct so far."""
+        if self._stats["total"] == 0:
+            return 1.0
+        return self._stats["correct"] / self._stats["total"]
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)

@@ -1,0 +1,76 @@
+"""Service level objectives (paper Table IV).
+
+The paper sets per-bucket TTFT SLOs driven by the input length (250 ms
+for short, 400 ms for medium, 2000 ms for long inputs) and a uniform
+100 ms TBT SLO, defined as 5x the latency of an isolated request on an
+unloaded system.  Some services run with relaxed SLOs (10x or 20x); the
+``scale`` parameter expresses that relaxation relative to the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workload.classification import LengthClass, RequestType
+
+
+@dataclass(frozen=True)
+class SLO:
+    """TTFT / TBT latency targets in seconds."""
+
+    ttft_s: float
+    tbt_s: float
+
+    def scaled(self, factor: float) -> "SLO":
+        """Return a relaxed (factor > 1) or tightened (factor < 1) SLO."""
+        if factor <= 0:
+            raise ValueError(f"SLO scale factor must be positive, got {factor}")
+        return SLO(ttft_s=self.ttft_s * factor, tbt_s=self.tbt_s * factor)
+
+    def is_met_by(self, ttft_s: float, tbt_s: float) -> bool:
+        return ttft_s <= self.ttft_s and tbt_s <= self.tbt_s
+
+
+# Table IV: TTFT SLO per input-length class; TBT SLO is uniform.
+_TTFT_SLO_BY_INPUT: Dict[LengthClass, float] = {
+    LengthClass.SHORT: 0.250,
+    LengthClass.MEDIUM: 0.400,
+    LengthClass.LONG: 2.000,
+}
+_TBT_SLO_S = 0.100
+
+#: The paper's default SLO corresponds to 5x isolated latency.
+SLO_SCALE_STRICT = 1.0
+SLO_SCALE_RELAXED = 2.0   # the "10x" services
+SLO_SCALE_LOOSE = 4.0     # the "20x" services
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Maps request types to their SLOs, with an optional global scale."""
+
+    scale: float = SLO_SCALE_STRICT
+
+    def slo_for(self, request_type: RequestType) -> SLO:
+        """The SLO applicable to a request of the given type."""
+        base = SLO(
+            ttft_s=_TTFT_SLO_BY_INPUT[request_type.input_class],
+            tbt_s=_TBT_SLO_S,
+        )
+        return base.scaled(self.scale)
+
+    def ttft_slo(self, request_type: RequestType) -> float:
+        return self.slo_for(request_type).ttft_s
+
+    def tbt_slo(self, request_type: RequestType) -> float:
+        return self.slo_for(request_type).tbt_s
+
+    def table(self) -> Dict[str, SLO]:
+        """SLOs for all nine request types (used by the Table IV driver)."""
+        from repro.workload.classification import REQUEST_TYPES
+
+        return {t.name: self.slo_for(t) for t in REQUEST_TYPES}
+
+
+DEFAULT_SLO_POLICY = SLOPolicy()

@@ -1,0 +1,331 @@
+"""Synthetic production-like traces.
+
+The paper uses private week-long invocation traces of two Azure
+services, *Coding* and *Conversation*, plus a public 1-hour trace.
+Those traces are not available, so this module generates synthetic
+equivalents that preserve the two signals the controllers react to:
+
+* the request-type mix over time (Figure 1): Conversation skews towards
+  short inputs / long outputs, Coding towards long inputs / short
+  outputs, and both contain every bucket with time-varying popularity;
+* the load shape over time (Figure 2): both services are diurnal;
+  Coding has pronounced peaks during working hours, deep valleys at
+  night and much lower weekend load (peak/valley about 35x), while
+  Conversation is milder (peak/valley about 3x).
+
+Lengths are drawn from log-normal distributions per service, which is
+the standard empirical fit for LLM prompt/generation lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.rng import RngStream
+from repro.workload.classification import classify_length
+from repro.workload.request import Request
+from repro.workload.traces import Trace, TraceBin
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Statistical description of one LLM service's workload.
+
+    Attributes
+    ----------
+    name:
+        Service name (``"coding"`` or ``"conversation"``).
+    input_median / input_sigma:
+        Median and log-space sigma of the prompt-length log-normal.
+    output_median / output_sigma:
+        Median and log-space sigma of the generation-length log-normal.
+    peak_requests_per_second:
+        Arrival rate at the weekly peak.
+    night_factor:
+        Load multiplier at the deepest point of the night valley.
+    weekend_factor:
+        Additional multiplier applied on Saturday and Sunday.
+    diurnal_sharpness:
+        Controls how peaky the working-hours bump is (higher = sharper).
+    burstiness:
+        Multiplicative noise on the per-bin arrival rate.
+    max_input_tokens / max_output_tokens:
+        Hard caps (the model context window and generation limit).
+    """
+
+    name: str
+    input_median: float
+    input_sigma: float
+    output_median: float
+    output_sigma: float
+    peak_requests_per_second: float = 2.0
+    night_factor: float = 0.3
+    weekend_factor: float = 0.8
+    diurnal_sharpness: float = 2.0
+    burstiness: float = 0.15
+    max_input_tokens: int = 8192
+    max_output_tokens: int = 2048
+
+    def load_shape(self, time_s: float) -> float:
+        """Relative load (0..1] at ``time_s`` seconds from Monday 00:00."""
+        day = int(time_s // SECONDS_PER_DAY) % 7
+        hour = (time_s % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        # Working-hours bump centred at 14:00 local time.
+        bump = math.exp(-((hour - 14.0) ** 2) / (2.0 * (4.5 / self.diurnal_sharpness) ** 2))
+        shape = self.night_factor + (1.0 - self.night_factor) * bump
+        if day >= 5:  # Saturday / Sunday
+            shape *= self.weekend_factor
+        return max(1e-3, min(1.0, shape))
+
+    def arrival_rate(self, time_s: float) -> float:
+        """Expected arrivals per second at ``time_s``."""
+        return self.peak_requests_per_second * self.load_shape(time_s)
+
+
+#: Conversation: shortish prompts, long generations, mild diurnality.
+CONVERSATION_PROFILE = ServiceProfile(
+    name="conversation",
+    input_median=330.0,
+    input_sigma=1.15,
+    output_median=260.0,
+    output_sigma=0.95,
+    peak_requests_per_second=2.0,
+    night_factor=0.42,
+    weekend_factor=0.90,
+    diurnal_sharpness=1.4,
+    burstiness=0.08,
+)
+
+#: Coding: long prompts (files / diffs), short generations, deep valleys.
+CODING_PROFILE = ServiceProfile(
+    name="coding",
+    input_median=900.0,
+    input_sigma=1.05,
+    output_median=110.0,
+    output_sigma=1.00,
+    peak_requests_per_second=2.0,
+    night_factor=0.08,
+    weekend_factor=0.30,
+    diurnal_sharpness=2.4,
+    burstiness=0.12,
+)
+
+SERVICE_PROFILES: Dict[str, ServiceProfile] = {
+    CONVERSATION_PROFILE.name: CONVERSATION_PROFILE,
+    CODING_PROFILE.name: CODING_PROFILE,
+}
+
+
+def get_service_profile(name: str) -> ServiceProfile:
+    try:
+        return SERVICE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(SERVICE_PROFILES))
+        raise KeyError(f"unknown service {name!r}; known services: {known}") from None
+
+
+@dataclass
+class SyntheticTraceGenerator:
+    """Generates request-level or binned traces for a service profile."""
+
+    profile: ServiceProfile
+    seed: int = 7
+    rate_scale: float = 1.0
+    _rng: RngStream = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = RngStream(self.seed, f"trace/{self.profile.name}")
+
+    # ------------------------------------------------------------------
+    # Length sampling
+    # ------------------------------------------------------------------
+    def _sample_lengths(self, count: int, time_s: float) -> List[tuple]:
+        """Sample (input, output) token pairs.
+
+        The length mix drifts slowly over the day so the request-type
+        distribution changes over time (as in Figure 1): afternoons see
+        slightly longer interactions than early mornings.
+        """
+        if count <= 0:
+            return []
+        hour = (time_s % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        drift = 1.0 + 0.25 * math.sin(2.0 * math.pi * (hour - 6.0) / 24.0)
+        rng = self._rng.generator
+        inputs = rng.lognormal(
+            mean=math.log(self.profile.input_median * drift),
+            sigma=self.profile.input_sigma,
+            size=count,
+        )
+        outputs = rng.lognormal(
+            mean=math.log(self.profile.output_median * drift),
+            sigma=self.profile.output_sigma,
+            size=count,
+        )
+        pairs = []
+        for raw_in, raw_out in zip(inputs, outputs):
+            n_in = int(min(self.profile.max_input_tokens, max(4, round(raw_in))))
+            n_out = int(min(self.profile.max_output_tokens, max(2, round(raw_out))))
+            pairs.append((n_in, n_out))
+        return pairs
+
+    def _bin_rate(self, start: float, bin_seconds: float) -> float:
+        """Expected arrivals in a bin starting at ``start``."""
+        mid = start + bin_seconds / 2.0
+        rate = self.profile.arrival_rate(mid) * self.rate_scale
+        noise = 1.0 + self.profile.burstiness * float(self._rng.generator.standard_normal())
+        return max(0.0, rate * noise) * bin_seconds
+
+    # ------------------------------------------------------------------
+    # Request-level traces (used for the 1-hour and 1-day experiments)
+    # ------------------------------------------------------------------
+    def generate_requests(
+        self,
+        duration_s: float,
+        start_offset_s: float = 0.0,
+        bin_seconds: float = 10.0,
+        slo_scale: float = 1.0,
+    ) -> Trace:
+        """Generate a request-level trace covering ``duration_s`` seconds.
+
+        ``start_offset_s`` positions the window inside the week (e.g. a
+        Tuesday afternoon peak hour), which sets the load level and mix.
+        """
+        requests: List[Request] = []
+        rng = self._rng.generator
+        n_bins = int(math.ceil(duration_s / bin_seconds))
+        for index in range(n_bins):
+            bin_start = index * bin_seconds
+            expected = self._bin_rate(start_offset_s + bin_start, bin_seconds)
+            count = int(rng.poisson(expected))
+            if count == 0:
+                continue
+            arrival_offsets = sorted(rng.uniform(0.0, bin_seconds, size=count))
+            for offset, (n_in, n_out) in zip(
+                arrival_offsets, self._sample_lengths(count, start_offset_s + bin_start)
+            ):
+                requests.append(
+                    Request(
+                        arrival_time=bin_start + float(offset),
+                        input_tokens=n_in,
+                        output_tokens=n_out,
+                        service=self.profile.name,
+                        slo_scale=slo_scale,
+                    )
+                )
+        return Trace(name=f"{self.profile.name}-{duration_s / 3600.0:.0f}h", requests=requests)
+
+    # ------------------------------------------------------------------
+    # Binned traces (used for the week-long fluid simulations)
+    # ------------------------------------------------------------------
+    def generate_bins(
+        self,
+        duration_s: float,
+        bin_seconds: float = 300.0,
+        start_offset_s: float = 0.0,
+        samples_per_bin: int = 64,
+    ) -> List[TraceBin]:
+        """Generate aggregate per-bin load without materialising requests.
+
+        Each bin records the expected request count and the token volume
+        per request type, estimated from ``samples_per_bin`` sampled
+        length pairs.  This is the input to the coarse (fluid) simulator
+        used for the day/week experiments, mirroring the paper's
+        discrete-time simulator for large-scale results (Section V-E).
+        """
+        bins: List[TraceBin] = []
+        n_bins = int(math.ceil(duration_s / bin_seconds))
+        for index in range(n_bins):
+            bin_start = index * bin_seconds
+            expected = self._bin_rate(start_offset_s + bin_start, bin_seconds)
+            count = max(0, int(round(expected)))
+            count_by_type: Dict[str, int] = {}
+            tokens_by_type: Dict[str, int] = {}
+            input_tokens = 0
+            output_tokens = 0
+            if count > 0:
+                sample_count = min(samples_per_bin, max(8, count))
+                samples = self._sample_lengths(sample_count, start_offset_s + bin_start)
+                per_sample_weight = count / len(samples)
+                for n_in, n_out in samples:
+                    type_name = classify_length(n_in, n_out).name
+                    count_by_type[type_name] = count_by_type.get(type_name, 0) + 1
+                    tokens_by_type[type_name] = (
+                        tokens_by_type.get(type_name, 0) + n_in + n_out
+                    )
+                    input_tokens += n_in
+                    output_tokens += n_out
+                # Scale sampled statistics up to the expected bin volume.
+                count_by_type = {
+                    k: int(round(v * per_sample_weight)) for k, v in count_by_type.items()
+                }
+                tokens_by_type = {
+                    k: int(round(v * per_sample_weight)) for k, v in tokens_by_type.items()
+                }
+                input_tokens = int(round(input_tokens * per_sample_weight))
+                output_tokens = int(round(output_tokens * per_sample_weight))
+            bins.append(
+                TraceBin(
+                    start_time=bin_start,
+                    duration=bin_seconds,
+                    request_count=count,
+                    input_tokens=input_tokens,
+                    output_tokens=output_tokens,
+                    count_by_type=count_by_type,
+                    tokens_by_type=tokens_by_type,
+                )
+            )
+        return bins
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors used throughout the experiments
+# ----------------------------------------------------------------------
+def make_one_hour_trace(
+    service: str = "conversation",
+    seed: int = 7,
+    rate_scale: float = 1.0,
+    slo_scale: float = 1.0,
+) -> Trace:
+    """A 1-hour request-level trace (stand-in for the open-source trace).
+
+    The window is placed on Tuesday early afternoon, near the weekly
+    peak, so that the hour contains both a ramp and a local dip.
+    """
+    generator = SyntheticTraceGenerator(get_service_profile(service), seed=seed, rate_scale=rate_scale)
+    start = SECONDS_PER_DAY + 12.5 * SECONDS_PER_HOUR  # Tuesday 12:30
+    return generator.generate_requests(
+        duration_s=SECONDS_PER_HOUR, start_offset_s=start, slo_scale=slo_scale
+    )
+
+
+def make_day_trace(
+    service: str = "conversation",
+    seed: int = 7,
+    rate_scale: float = 1.0,
+    slo_scale: float = 1.0,
+) -> Trace:
+    """A 24-hour request-level trace starting Tuesday 00:00."""
+    generator = SyntheticTraceGenerator(get_service_profile(service), seed=seed, rate_scale=rate_scale)
+    return generator.generate_requests(
+        duration_s=SECONDS_PER_DAY,
+        start_offset_s=SECONDS_PER_DAY,
+        bin_seconds=30.0,
+        slo_scale=slo_scale,
+    )
+
+
+def make_week_trace(
+    service: str = "conversation",
+    seed: int = 7,
+    rate_scale: float = 1.0,
+    bin_seconds: float = 300.0,
+) -> List[TraceBin]:
+    """A week-long binned trace starting Monday 00:00 (for fluid runs)."""
+    generator = SyntheticTraceGenerator(get_service_profile(service), seed=seed, rate_scale=rate_scale)
+    return generator.generate_bins(duration_s=SECONDS_PER_WEEK, bin_seconds=bin_seconds)

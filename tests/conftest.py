@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.llm.catalog import LLAMA2_70B
+from repro.perf.profiler import get_default_profile
+from repro.workload.synthetic import make_one_hour_trace
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The default Llama2-70B energy-performance profile (cached)."""
+    return get_default_profile(LLAMA2_70B)
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """A ~5-minute slice of the synthetic 1-hour Conversation trace."""
+    trace = make_one_hour_trace("conversation", seed=7, rate_scale=6.0)
+    return trace.slice(0.0, 300.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A ~2-minute low-rate trace for fast integration tests."""
+    trace = make_one_hour_trace("conversation", seed=9, rate_scale=3.0)
+    return trace.slice(0.0, 120.0)
+
+
+@pytest.fixture()
+def experiment_config(profile):
+    """A small but complete experiment configuration reusing the profile."""
+    return ExperimentConfig(profile=profile, max_servers=16)

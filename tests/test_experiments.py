@@ -1,0 +1,246 @@
+"""Tests for the experiment drivers and the end-to-end runners."""
+
+import pytest
+
+from repro.experiments.characterization import (
+    best_configs_summary,
+    format_heatmap,
+    table1_energy_heatmap,
+    table2_load_sweep,
+    table3_model_sweep,
+    table4_slo_table,
+)
+from repro.experiments.cluster_eval import (
+    figure6_energy_by_system,
+    figure7_latency_percentiles,
+    figure8_power_percentiles,
+    figure9_frequency_timeline,
+    figure10_sharding_timeline,
+    normalized_energy,
+)
+from repro.experiments.fluid import FluidRunner
+from repro.experiments.overheads import (
+    figure3_frequency_switch_throughput,
+    format_matrix,
+    table5_instance_creation,
+    table6_resharding_matrix,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+from repro.experiments.runner import (
+    ExperimentConfig,
+    load_fractions_from_trace,
+    pool_loads_from_trace,
+    recommended_static_servers,
+    run_all_policies,
+    run_policy_on_trace,
+)
+from repro.experiments.traces import figure1_request_mix, figure2_weekly_load, weekly_load_statistics
+from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
+from repro.workload.classification import DEFAULT_SCHEME, REQUEST_TYPE_NAMES
+from repro.workload.synthetic import make_week_trace
+
+
+class TestCharacterizationDrivers:
+    def test_table1_has_nine_rows(self):
+        rows = table1_energy_heatmap()
+        assert set(rows) == set(REQUEST_TYPE_NAMES)
+        assert len(next(iter(rows.values()))) == 12  # 3 TPs x 4 frequencies
+
+    def test_table1_ll_infeasible_on_tp2(self):
+        rows = table1_energy_heatmap()
+        assert all(rows["LL"][f"TP2@{f}"] is None for f in (800, 1200, 1600, 1980))
+
+    def test_table1_ss_cheaper_than_ll(self):
+        rows = table1_energy_heatmap()
+        assert rows["SS"]["TP8@1600"] < rows["LL"]["TP8@1600"]
+
+    def test_table2_levels(self):
+        rows = table2_load_sweep()
+        assert set(rows) == {"low", "medium", "high"}
+        # Low load admits more feasible configurations than high load.
+        low_feasible = sum(1 for value in rows["low"].values() if value is not None)
+        high_feasible = sum(1 for value in rows["high"].values() if value is not None)
+        assert low_feasible > high_feasible
+
+    def test_table3_models_and_ordering(self):
+        rows = table3_model_sweep()
+        assert "Falcon-180B" in rows and "Llama2-13B" in rows
+        # Small models are cheaper than the largest ones at the same config.
+        assert rows["Llama2-13B"]["TP8@1600"] < rows["Falcon-180B"]["TP8@1600"]
+
+    def test_table4_matches_slo_policy(self):
+        table = table4_slo_table()
+        assert table["SS"]["ttft_slo_s"] == pytest.approx(0.25)
+        assert table["LL"]["tbt_slo_s"] == pytest.approx(0.1)
+
+    def test_best_configs_cover_all_types(self):
+        summary = best_configs_summary()
+        assert set(summary) == set(REQUEST_TYPE_NAMES)
+        assert summary["SS"].startswith("TP2")
+
+    def test_format_heatmap_renders_rows(self):
+        lines = format_heatmap(table2_load_sweep())
+        assert len(lines) == 4  # header + three load levels
+
+
+class TestOverheadDrivers:
+    def test_table5_totals(self):
+        table = table5_instance_creation()
+        assert table["cold_boot"]["total"] > 300.0
+        assert table["warm_boot"]["total"] < table["cold_boot"]["total"]
+
+    def test_table6_key_entries(self):
+        matrix = table6_resharding_matrix()
+        assert matrix["TP4"]["TP8"] == 1
+        assert matrix["TP2"]["4TP2"] == 4
+        assert matrix["2TP4"]["TP8"] == 0
+        assert matrix["_unit_T_s"]["T"] > 0
+
+    def test_figure3_switching_hurts_throughput(self):
+        results = figure3_frequency_switch_throughput()
+        for row in results.values():
+            assert row["switch_freq_rps"] < row["const_freq_rps"]
+            assert row["optimized_switch_rps"] > row["switch_freq_rps"]
+
+    def test_format_matrix(self):
+        lines = format_matrix(table6_resharding_matrix())
+        assert len(lines) == 7  # header + 6 layouts
+
+
+class TestTraceDrivers:
+    def test_figure1_fractions_sum_to_one(self):
+        mix = figure1_request_mix(seed=3)
+        for service, per_day in mix.items():
+            for day, fractions in per_day.items():
+                assert sum(fractions.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_figure2_normalised_to_peak(self):
+        series = figure2_weekly_load(seed=3)
+        for service, points in series.items():
+            values = [value for _, value in points]
+            assert max(values) == pytest.approx(1.0)
+            assert min(values) >= 0.0
+
+    def test_weekly_statistics_coding_more_bursty(self):
+        stats = weekly_load_statistics(seed=3)
+        assert stats["coding"]["peak_over_valley"] > stats["conversation"]["peak_over_valley"]
+        assert stats["coding"]["peak_over_average"] > stats["conversation"]["peak_over_average"]
+
+
+class TestRegistry:
+    def test_registry_contains_all_artifacts(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure6-8",
+            "figure11",
+            "figure12",
+            "figure13",
+            "figure14",
+            "figure15",
+            "figure16",
+            "cost",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_light_experiments_exclude_heavy(self):
+        light = list_experiments(include_heavy=False)
+        assert "figure6-8" not in light
+        assert "table1" in light
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_run_experiment_by_id(self):
+        assert run_experiment("table4")["MM"]["ttft_slo_s"] == pytest.approx(0.4)
+
+
+class TestRunnerHelpers:
+    def test_pool_loads_cover_pools_with_traffic(self, short_trace):
+        loads = pool_loads_from_trace(short_trace, DEFAULT_SCHEME)
+        assert loads
+        assert all(value >= 0 for value in loads.values())
+
+    def test_load_fractions_sum_to_one(self, short_trace):
+        fractions = load_fractions_from_trace(short_trace, DEFAULT_SCHEME)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_recommended_static_servers_positive(self, short_trace, profile):
+        servers = recommended_static_servers(short_trace, profile, DEFAULT_SCHEME)
+        assert servers >= 1
+
+
+class TestDetailedRunner:
+    def test_single_pool_run_completes_requests(self, tiny_trace, experiment_config):
+        summary = run_policy_on_trace(SINGLE_POOL, tiny_trace, experiment_config)
+        assert summary.latency.count == len(tiny_trace)
+        assert summary.energy_kwh > 0.0
+        assert summary.gpu_hours > 0.0
+        assert summary.slo_attainment() > 0.8
+
+    def test_dynamo_run_saves_energy(self, short_trace, experiment_config):
+        summaries = run_all_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
+        baseline = summaries["SinglePool"]
+        dynamo = summaries["DynamoLLM"]
+        assert dynamo.energy_kwh < baseline.energy_kwh
+        assert dynamo.average_servers <= baseline.average_servers
+        assert dynamo.slo_attainment() > 0.75
+        assert dynamo.latency.count == baseline.latency.count
+
+    def test_cluster_eval_extractors(self, short_trace, experiment_config):
+        summaries = run_all_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
+        energy = figure6_energy_by_system(summaries)
+        assert set(energy) == {"SinglePool", "DynamoLLM"}
+        latency = figure7_latency_percentiles(summaries)
+        assert latency["DynamoLLM"]["ttft_s"][99] >= latency["DynamoLLM"]["ttft_s"][50]
+        power = figure8_power_percentiles(summaries)
+        assert power["SinglePool"]["cluster_kw"][99] > 0
+        frequency = figure9_frequency_timeline(summaries, policy="DynamoLLM", pools=("MM",))
+        assert frequency["total"]
+        sharding = figure10_sharding_timeline(summaries, policy="DynamoLLM", pools=("MM",))
+        assert "TP8" in sharding["total"]
+        normalized = normalized_energy(summaries)
+        assert normalized["SinglePool"] == pytest.approx(1.0)
+        assert normalized["DynamoLLM"] < 1.0
+
+
+class TestFluidRunner:
+    @pytest.fixture(scope="class")
+    def day_bins(self):
+        bins = make_week_trace("conversation", seed=5, rate_scale=20.0, bin_seconds=1800.0)
+        return [b for b in bins if b.start_time < 2 * 86400.0]
+
+    def test_fluid_energy_positive(self, day_bins, profile):
+        runner = FluidRunner(profile=profile)
+        result = runner.run(SINGLE_POOL, day_bins)
+        assert result.energy_kwh > 0.0
+        assert result.gpu_hours > 0.0
+        assert len(result.energy_timeline_wh) == len(day_bins)
+
+    def test_fluid_dynamo_beats_baseline(self, day_bins, profile):
+        runner = FluidRunner(profile=profile)
+        results = runner.run_all((SINGLE_POOL, DYNAMO_LLM), day_bins)
+        assert results["DynamoLLM"].energy_wh < results["SinglePool"].energy_wh
+        assert results["DynamoLLM"].average_servers < results["SinglePool"].average_servers
+
+    def test_fluid_ordering_of_all_policies(self, day_bins, profile):
+        runner = FluidRunner(profile=profile)
+        results = runner.run_all(ALL_POLICIES, day_bins)
+        assert results["DynamoLLM"].energy_wh <= min(
+            results[name].energy_wh for name in results if name != "DynamoLLM"
+        )
+        assert results["ScaleFreq"].energy_wh < results["MultiPool"].energy_wh
+        assert results["ScaleShard"].energy_wh < results["MultiPool"].energy_wh
+
+    def test_fluid_carbon_positive(self, day_bins, profile):
+        runner = FluidRunner(profile=profile)
+        result = runner.run(DYNAMO_LLM, day_bins)
+        assert result.carbon_kg() > 0.0

@@ -1,0 +1,137 @@
+"""Tests for the model and GPU catalog."""
+
+import pytest
+
+from repro.llm.catalog import (
+    BLOOM_176B,
+    FALCON_180B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    MIXTRAL_8X22B,
+    MIXTRAL_8X7B,
+    MODEL_CATALOG,
+    get_model,
+    list_models,
+)
+from repro.llm.gpu import DGX_H100, H100, GPUSpec, ServerSpec
+
+
+class TestGPUSpec:
+    def test_frequency_levels_cover_range(self):
+        levels = H100.frequency_levels()
+        assert levels[0] == 800
+        assert levels[-1] == 1980
+        assert all(levels[i] < levels[i + 1] for i in range(len(levels) - 1))
+
+    def test_frequency_ratio(self):
+        assert H100.frequency_ratio(1980) == pytest.approx(1.0)
+        assert H100.frequency_ratio(990) == pytest.approx(0.5)
+
+    def test_voltage_ratio_has_floor(self):
+        assert H100.voltage_ratio(800) == pytest.approx(H100.voltage_floor)
+        assert H100.voltage_ratio(1980) == pytest.approx(1.0)
+
+    def test_voltage_monotone_in_frequency(self):
+        voltages = [H100.voltage_ratio(f) for f in H100.frequency_levels()]
+        assert all(voltages[i] <= voltages[i + 1] for i in range(len(voltages) - 1))
+
+    def test_validate_frequency_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            H100.validate_frequency(500)
+        with pytest.raises(ValueError):
+            H100.validate_frequency(2500)
+
+    def test_validate_frequency_accepts_in_range(self):
+        H100.validate_frequency(1200)  # should not raise
+
+
+class TestServerSpec:
+    def test_total_memory(self):
+        assert DGX_H100.total_memory_gb == pytest.approx(8 * 80.0)
+
+    def test_max_power_is_tdp_plus_host(self):
+        assert DGX_H100.max_power_watts == pytest.approx(8 * 700.0 + 500.0)
+
+    def test_validate_tp_accepts_supported(self):
+        for tp in (1, 2, 4, 8):
+            DGX_H100.validate_tensor_parallelism(tp)
+
+    def test_validate_tp_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            DGX_H100.validate_tensor_parallelism(3)
+
+    def test_custom_server_rejects_oversized_tp(self):
+        small = ServerSpec(gpus_per_server=4, supported_tensor_parallelism=(1, 2, 4, 8))
+        with pytest.raises(ValueError):
+            small.validate_tensor_parallelism(8)
+
+
+class TestModelCatalog:
+    def test_catalog_contains_paper_models(self):
+        names = set(list_models())
+        expected = {
+            "Llama2-13B",
+            "Llama2-70B",
+            "Llama3-70B",
+            "Mixtral-8x7B",
+            "Mixtral-8x22B",
+            "Falcon-180B",
+            "BLOOM-176B",
+        }
+        assert expected <= names
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("GPT-5")
+
+    def test_get_model_roundtrip(self):
+        assert get_model("Llama2-70B") is LLAMA2_70B
+
+    def test_weight_bytes_is_two_bytes_per_param(self):
+        assert LLAMA2_70B.weight_gb == pytest.approx(140.0)
+        assert LLAMA2_13B.weight_gb == pytest.approx(26.0)
+
+    def test_moe_active_weights_smaller_than_total(self):
+        assert MIXTRAL_8X7B.active_weight_bytes < MIXTRAL_8X7B.weight_bytes
+        assert MIXTRAL_8X22B.active_weight_bytes < MIXTRAL_8X22B.weight_bytes
+
+    def test_dense_active_weights_equal_total(self):
+        assert LLAMA2_70B.active_weight_bytes == pytest.approx(LLAMA2_70B.weight_bytes)
+
+    def test_kv_bytes_per_token_positive(self):
+        for spec in MODEL_CATALOG.values():
+            assert spec.kv_bytes_per_token() > 0
+
+    def test_gqa_reduces_kv_cache(self):
+        # Llama2-70B uses grouped-query attention (8 KV heads), so its KV
+        # footprint per token is far below a same-width MHA model.
+        assert LLAMA2_70B.kv_bytes_per_token() < BLOOM_176B.kv_bytes_per_token()
+
+    def test_weight_shard_scales_with_tp(self):
+        assert LLAMA2_70B.weight_gb_per_gpu(8) == pytest.approx(
+            LLAMA2_70B.weight_gb_per_gpu(4) / 2
+        )
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            LLAMA2_70B.weight_gb_per_gpu(0)
+
+    def test_llama2_70b_fits_tp2_and_up(self):
+        assert LLAMA2_70B.feasible_tensor_parallelisms() == [2, 4, 8]
+
+    def test_llama2_13b_fits_single_gpu(self):
+        assert LLAMA2_13B.min_tensor_parallelism() == 1
+
+    def test_falcon_180b_requires_tp8(self):
+        assert FALCON_180B.min_tensor_parallelism() == 8
+        assert FALCON_180B.feasible_tensor_parallelisms() == [8]
+
+    def test_mixtral_8x22b_does_not_fit_tp2(self):
+        assert not MIXTRAL_8X22B.fits(2)
+
+    def test_kv_capacity_zero_when_weights_do_not_fit(self):
+        assert FALCON_180B.kv_capacity_tokens(2) == 0.0
+
+    def test_kv_capacity_grows_with_tp(self):
+        assert LLAMA2_70B.kv_capacity_tokens(8) > LLAMA2_70B.kv_capacity_tokens(4)
+        assert LLAMA2_70B.kv_capacity_tokens(4) > LLAMA2_70B.kv_capacity_tokens(2)

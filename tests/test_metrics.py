@@ -1,0 +1,228 @@
+"""Tests for the metrics package: latency, energy, power, carbon, cost."""
+
+import pytest
+
+from repro.metrics.carbon import CarbonIntensityTrace, carbon_emissions_kg, carbon_timeline_kg_per_h
+from repro.metrics.cost import CostModel
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.latency import LatencyStats
+from repro.metrics.power import PowerTimeSeries
+from repro.metrics.summary import RunSummary, compare_energy
+from repro.workload.request import Request, RequestOutcome
+
+
+def make_outcome(ttft=0.1, tbt=0.02, n_in=600, n_out=101, squashed=False):
+    request = Request(arrival_time=0.0, input_tokens=n_in, output_tokens=n_out)
+    return RequestOutcome(
+        request=request,
+        pool="MM",
+        instance_id="i",
+        start_time=0.0,
+        first_token_time=ttft,
+        completion_time=ttft + tbt * (n_out - 1),
+        squashed=squashed,
+    )
+
+
+class TestLatencyStats:
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for index in range(100):
+            stats.add(make_outcome(ttft=0.01 * (index + 1)))
+        assert stats.ttft_percentile(50) == pytest.approx(0.505, abs=0.02)
+        assert stats.ttft_percentile(99) == pytest.approx(1.0, abs=0.02)
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.ttft_percentile(99) == 0.0
+        assert stats.slo_attainment() == 1.0
+
+    def test_slo_attainment_counts_violations(self):
+        stats = LatencyStats()
+        stats.add(make_outcome(ttft=0.1, tbt=0.02))   # meets MM SLO
+        stats.add(make_outcome(ttft=5.0, tbt=0.02))   # violates TTFT
+        assert stats.slo_attainment() == pytest.approx(0.5)
+
+    def test_squashed_requests_count_as_violations(self):
+        stats = LatencyStats()
+        stats.add(make_outcome(squashed=True))
+        assert stats.slo_attainment() == 0.0
+        assert stats.squashed_count == 1
+
+    def test_by_request_type_grouping(self):
+        stats = LatencyStats()
+        stats.add(make_outcome(n_in=100, n_out=50))
+        stats.add(make_outcome(n_in=3000, n_out=500))
+        groups = stats.by_request_type()
+        assert set(groups) == {"SS", "LL"}
+
+    def test_percentile_table_shape(self):
+        stats = LatencyStats()
+        stats.add(make_outcome())
+        table = stats.percentile_table()
+        assert set(table) == {"ttft_s", "tbt_s"}
+        assert set(table["ttft_s"]) == {50, 90, 99}
+
+    def test_mean_values(self):
+        stats = LatencyStats()
+        stats.add(make_outcome(ttft=0.2))
+        stats.add(make_outcome(ttft=0.4))
+        assert stats.mean_ttft() == pytest.approx(0.3)
+
+
+class TestEnergyAccount:
+    def test_accumulates_total_and_breakdown(self):
+        account = EnergyAccount()
+        account.add_step(0.0, 10.0, {"SS": 4.0, "MM": 6.0})
+        account.add_step(1.0, 20.0, {"MM": 20.0})
+        assert account.total_wh == pytest.approx(30.0)
+        assert account.total_kwh == pytest.approx(0.03)
+        assert account.by_type_wh["MM"] == pytest.approx(26.0)
+
+    def test_type_breakdown_covers_all_types(self):
+        account = EnergyAccount()
+        account.add_step(0.0, 5.0, {"LL": 5.0})
+        breakdown = account.type_breakdown_kwh()
+        assert len(breakdown) == 9
+        assert breakdown["LL"] == pytest.approx(0.005)
+        assert breakdown["SS"] == 0.0
+
+    def test_binned_timeline(self):
+        account = EnergyAccount()
+        for t in range(10):
+            account.add_step(float(t), 1.0, {})
+        bins = account.binned_kwh(5.0)
+        assert len(bins) == 2
+        assert bins[0][1] == pytest.approx(0.005)
+
+    def test_binned_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().binned_kwh(0.0)
+
+    def test_savings_vs_baseline(self):
+        baseline = EnergyAccount()
+        baseline.add_step(0.0, 100.0, {})
+        optimized = EnergyAccount()
+        optimized.add_step(0.0, 40.0, {})
+        assert optimized.savings_vs(baseline) == pytest.approx(0.6)
+
+
+class TestPowerTimeSeries:
+    def test_percentiles(self):
+        series = PowerTimeSeries()
+        for index in range(100):
+            series.add_step(float(index), 1000.0 + index, 10)
+        assert series.cluster_percentile(50) == pytest.approx(1049.5, abs=1.0)
+        assert series.per_gpu_percentile(99) == pytest.approx(109.9, abs=0.5)
+
+    def test_empty_series(self):
+        series = PowerTimeSeries()
+        assert series.cluster_percentile(99) == 0.0
+        assert series.mean_cluster_power() == 0.0
+
+    def test_per_gpu_handles_zero_gpus(self):
+        series = PowerTimeSeries()
+        series.add_step(0.0, 100.0, 0)
+        assert series.per_gpu_power()[0] == 0.0
+
+    def test_percentile_table_units(self):
+        series = PowerTimeSeries()
+        series.add_step(0.0, 2000.0, 8)
+        table = series.percentile_table()
+        assert table["cluster_kw"][50] == pytest.approx(2.0)
+        assert table["per_gpu_w"][50] == pytest.approx(250.0)
+
+
+class TestCarbon:
+    def test_intensity_dips_at_midday(self):
+        trace = CarbonIntensityTrace()
+        assert trace.intensity_at(12.5 * 3600.0) < trace.intensity_at(3.0 * 3600.0)
+
+    def test_intensity_positive(self):
+        trace = CarbonIntensityTrace()
+        for hour in range(24):
+            assert trace.intensity_at(hour * 3600.0) > 0.0
+
+    def test_emissions_scale_with_energy(self):
+        trace = CarbonIntensityTrace()
+        small = carbon_emissions_kg([(0.0, 1000.0)], trace)
+        large = carbon_emissions_kg([(0.0, 2000.0)], trace)
+        assert large == pytest.approx(2 * small)
+
+    def test_timeline_bins(self):
+        trace = CarbonIntensityTrace()
+        timeline = [(float(t), 100.0) for t in range(0, 7200, 600)]
+        series = carbon_timeline_kg_per_h(timeline, trace, bin_seconds=3600.0)
+        assert len(series) == 2
+
+    def test_series_sampling(self):
+        trace = CarbonIntensityTrace()
+        assert len(trace.series(86400.0, 3600.0)) == 24
+
+
+class TestCostModel:
+    def test_gpu_cost_dominates_energy_cost(self):
+        cost = CostModel()
+        summary = cost.summary(gpu_hours=100.0, energy_kwh=100.0)
+        assert summary["gpu_cost_usd"] > 10 * summary["energy_cost_usd"]
+
+    def test_savings_fraction(self):
+        cost = CostModel()
+        savings = cost.savings(100.0, 50.0, 60.0, 25.0)
+        assert savings["saving_usd"] > 0
+        assert 0.0 < savings["saving_fraction"] < 1.0
+
+    def test_total_cost_additive(self):
+        cost = CostModel()
+        assert cost.total_cost(10.0, 20.0) == pytest.approx(
+            cost.gpu_cost(10.0) + cost.energy_cost(20.0)
+        )
+
+    def test_gpu_price_per_hour(self):
+        cost = CostModel(server_price_per_hour=80.0, gpus_per_server=8)
+        assert cost.gpu_price_per_hour == pytest.approx(10.0)
+
+
+class TestRunSummary:
+    def make_summary(self, policy="SinglePool", energy=100.0):
+        account = EnergyAccount()
+        account.add_step(0.0, energy, {"MM": energy})
+        latency = LatencyStats()
+        latency.add(make_outcome())
+        power = PowerTimeSeries()
+        power.add_step(0.0, 1000.0, 8)
+        return RunSummary(
+            policy=policy,
+            trace="test",
+            duration_s=60.0,
+            energy=account,
+            latency=latency,
+            power=power,
+            gpu_hours=8.0,
+            average_servers=1.0,
+        )
+
+    def test_headline_fields(self):
+        summary = self.make_summary()
+        headline = summary.headline()
+        assert headline["energy_kwh"] == pytest.approx(0.1)
+        assert headline["slo_attainment"] == 1.0
+        assert headline["requests"] == 1.0
+
+    def test_carbon_and_cost_helpers(self):
+        summary = self.make_summary()
+        assert summary.carbon_kg() > 0.0
+        assert summary.cost_usd() > 0.0
+
+    def test_compare_energy_normalises_to_baseline(self):
+        summaries = {
+            "SinglePool": self.make_summary("SinglePool", 100.0),
+            "DynamoLLM": self.make_summary("DynamoLLM", 40.0),
+        }
+        normalized = compare_energy(summaries)
+        assert normalized["SinglePool"] == pytest.approx(1.0)
+        assert normalized["DynamoLLM"] == pytest.approx(0.4)
+
+    def test_compare_energy_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            compare_energy({"DynamoLLM": self.make_summary("DynamoLLM")})

@@ -1,0 +1,80 @@
+"""Tests for the policy specifications of the six evaluated systems."""
+
+import pytest
+
+from repro.policies import (
+    ALL_POLICIES,
+    DYNAMO_LLM,
+    MULTI_POOL,
+    SCALE_FREQ,
+    SCALE_INST,
+    SCALE_SHARD,
+    SINGLE_POOL,
+    get_policy_spec,
+)
+from repro.policies.base import SINGLE_POOL_SCHEME
+from repro.workload.classification import DEFAULT_SCHEME
+
+
+class TestPolicySpecs:
+    def test_six_policies_registered(self):
+        assert len(ALL_POLICIES) == 6
+        names = {spec.name for spec in ALL_POLICIES}
+        assert names == {
+            "SinglePool",
+            "MultiPool",
+            "ScaleInst",
+            "ScaleShard",
+            "ScaleFreq",
+            "DynamoLLM",
+        }
+
+    def test_registry_lookup(self):
+        assert get_policy_spec("DynamoLLM") is DYNAMO_LLM
+        with pytest.raises(KeyError):
+            get_policy_spec("NoSuchPolicy")
+
+    def test_single_pool_uses_one_pool(self):
+        assert SINGLE_POOL.scheme().num_pools == 1
+        assert SINGLE_POOL.scheme() is SINGLE_POOL_SCHEME
+
+    def test_multi_pool_uses_nine_pools(self):
+        assert MULTI_POOL.scheme() is DEFAULT_SCHEME
+
+    def test_baselines_disable_all_knobs(self):
+        for spec in (SINGLE_POOL, MULTI_POOL):
+            knobs = spec.knobs()
+            assert not knobs.scale_instances
+            assert not knobs.scale_sharding
+            assert not knobs.scale_frequency
+
+    def test_each_scale_baseline_enables_exactly_one_knob(self):
+        for spec, attribute in (
+            (SCALE_INST, "scale_instances"),
+            (SCALE_SHARD, "scale_sharding"),
+            (SCALE_FREQ, "scale_frequency"),
+        ):
+            knobs = spec.knobs()
+            enabled = [
+                knobs.scale_instances,
+                knobs.scale_sharding,
+                knobs.scale_frequency,
+            ]
+            assert sum(enabled) == 1
+            assert getattr(knobs, attribute)
+
+    def test_dynamollm_enables_everything(self):
+        knobs = DYNAMO_LLM.knobs()
+        assert knobs.scale_instances and knobs.scale_sharding and knobs.scale_frequency
+        assert knobs.fragmentation_handling and knobs.overhead_aware and knobs.emergency_handling
+        assert DYNAMO_LLM.proactive_provisioning
+
+    def test_scale_inst_provisions_reactively(self):
+        assert not SCALE_INST.proactive_provisioning
+
+    def test_scheme_override_only_affects_multi_pool(self):
+        from repro.workload.classification import scheme_for_pool_count
+
+        four_pool = scheme_for_pool_count(4)
+        assert DYNAMO_LLM.scheme(four_pool) is four_pool
+        assert SINGLE_POOL.scheme(four_pool) is SINGLE_POOL_SCHEME

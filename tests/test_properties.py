@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resharding import ShardLayout, plan_reshard
+from repro.llm.catalog import LLAMA2_70B
+from repro.perf.config import InstanceConfig, WorkloadSlice
+from repro.perf.latency_model import LatencyModel
+from repro.perf.power_model import PowerModel
+from repro.workload.classification import (
+    REQUEST_TYPE_NAMES,
+    classify_length,
+    equivalent_prompt_tokens,
+)
+from repro.workload.slo import SLOPolicy
+
+_LATENCY = LatencyModel(LLAMA2_70B)
+_POWER = PowerModel()
+
+frequencies = st.sampled_from([800, 1000, 1200, 1400, 1600, 1800, 1980])
+tps = st.sampled_from([2, 4, 8])
+input_tokens = st.integers(min_value=1, max_value=8192)
+output_tokens = st.integers(min_value=1, max_value=2048)
+
+
+class TestClassificationProperties:
+    @given(n_in=input_tokens, n_out=output_tokens)
+    def test_every_length_pair_has_exactly_one_bucket(self, n_in, n_out):
+        bucket = classify_length(n_in, n_out)
+        assert bucket.name in REQUEST_TYPE_NAMES
+
+    @given(n_in=input_tokens, n_out=output_tokens)
+    def test_classification_monotone_in_lengths(self, n_in, n_out):
+        bucket = classify_length(n_in, n_out)
+        larger = classify_length(min(8192, n_in * 2), min(100000, n_out * 2))
+        assert larger.size_rank >= bucket.size_rank or larger.name == bucket.name
+
+    @given(
+        tokens=st.integers(min_value=1, max_value=8192),
+        source=st.sampled_from(REQUEST_TYPE_NAMES),
+        target=st.sampled_from(REQUEST_TYPE_NAMES),
+    )
+    def test_equivalent_tokens_roundtrip(self, tokens, source, target):
+        converted = equivalent_prompt_tokens(tokens, source, target)
+        back = equivalent_prompt_tokens(converted, target, source)
+        assert abs(back - tokens) < 1e-6 * max(1.0, tokens)
+
+    @given(tokens=st.integers(min_value=1, max_value=8192), name=st.sampled_from(REQUEST_TYPE_NAMES))
+    def test_equivalent_tokens_positive(self, tokens, name):
+        assert equivalent_prompt_tokens(tokens, name, "LL") > 0
+
+
+class TestSLOProperties:
+    @given(scale=st.floats(min_value=0.1, max_value=20.0), name=st.sampled_from(REQUEST_TYPE_NAMES))
+    def test_scaling_slo_scales_both_targets(self, scale, name):
+        from repro.workload.classification import RequestType
+
+        policy = SLOPolicy()
+        base = policy.slo_for(RequestType.from_name(name))
+        scaled = base.scaled(scale)
+        assert scaled.ttft_s > 0 and scaled.tbt_s > 0
+        assert abs(scaled.ttft_s - base.ttft_s * scale) < 1e-9
+
+
+class TestPowerProperties:
+    @given(frequency=frequencies, activity=st.floats(min_value=0.0, max_value=1.0))
+    def test_power_bounded_between_idle_and_tdp(self, frequency, activity):
+        power = _POWER.gpu_power(frequency, activity)
+        assert _POWER.gpu.idle_watts - 1e-9 <= power <= _POWER.gpu.tdp_watts + 1e-9
+
+    @given(frequency=frequencies, a=st.floats(0.0, 1.0), b=st.floats(0.0, 1.0))
+    def test_power_monotone_in_activity(self, frequency, a, b):
+        low, high = sorted((a, b))
+        assert _POWER.gpu_power(frequency, low) <= _POWER.gpu_power(frequency, high) + 1e-9
+
+    @given(tp=tps, frequency=frequencies, activity=st.floats(0.0, 1.0))
+    def test_instance_power_scales_with_gpu_count(self, tp, frequency, activity):
+        power = _POWER.instance_power(tp, frequency, activity)
+        assert power >= tp * _POWER.gpu.idle_watts
+
+
+class TestLatencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tp=tps, frequency=frequencies, n_in=st.integers(64, 4096))
+    def test_prefill_time_positive_and_monotone_in_length(self, tp, frequency, n_in):
+        config = InstanceConfig(tp, frequency)
+        short = _LATENCY.prefill_time(config, n_in)
+        long = _LATENCY.prefill_time(config, n_in * 2)
+        assert short > 0
+        assert long > short
+
+    @settings(max_examples=40, deadline=None)
+    @given(tp=tps, frequency=frequencies, load=st.floats(min_value=0.0, max_value=3000.0))
+    def test_operating_point_invariants(self, tp, frequency, load):
+        workload = WorkloadSlice(input_tokens=600, output_tokens=220, prompt_tokens_per_second=load)
+        point = _LATENCY.solve(InstanceConfig(tp, frequency), workload)
+        assert 0.0 <= point.power_activity <= 1.0
+        if point.feasible:
+            assert point.ttft_s >= 0.0
+            assert point.tbt_s >= 0.0
+            assert point.batch_size >= 0.0
+            assert point.kv_tokens <= _LATENCY.kv_capacity_tokens(point.config) + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(tp=tps, frequency=frequencies)
+    def test_feasible_region_shrinks_with_load(self, tp, frequency):
+        config = InstanceConfig(tp, frequency)
+        low = _LATENCY.solve(config, WorkloadSlice(600, 220, 200.0))
+        high = _LATENCY.solve(config, WorkloadSlice(600, 220, 20000.0))
+        # If the high load is feasible the low load must be feasible too.
+        if high.feasible:
+            assert low.feasible
+
+
+class TestReshardingProperties:
+    layouts = st.sampled_from(
+        [
+            ShardLayout((2,)),
+            ShardLayout((4,)),
+            ShardLayout((8,)),
+            ShardLayout((2, 2, 2, 2)),
+            ShardLayout((4, 4)),
+            ShardLayout((2, 4)),
+        ]
+    )
+
+    @given(source=layouts, destination=layouts)
+    def test_plan_covers_destination_needs(self, source, destination):
+        plan = plan_reshard(source, destination)
+        assert plan.time_units >= 0
+        assert plan.shards_moved >= 0
+        # Self-transition never moves data.
+        if source == destination:
+            assert plan.shards_moved == 0
+
+    @given(source=layouts, destination=layouts)
+    def test_time_units_bounded_by_full_model(self, source, destination):
+        plan = plan_reshard(source, destination)
+        assert plan.time_units <= 8
+        assert plan.shards_moved <= 8 * 8

@@ -1,0 +1,181 @@
+"""Tests for the simulation kernel: clock, RNG streams, events, schedules."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock
+from repro.sim.events import EventLog
+from repro.sim.rng import RngStream, make_rng
+from repro.sim.schedule import PeriodicAction, PeriodicScheduler
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        clock = SimClock(time_step=1.0)
+        assert clock.step == 0
+        assert clock.now == 0.0
+
+    def test_advance_single_step(self):
+        clock = SimClock(time_step=0.5)
+        assert clock.advance() == 0.5
+        assert clock.step == 1
+
+    def test_advance_many_steps(self):
+        clock = SimClock(time_step=2.0)
+        clock.advance(10)
+        assert clock.now == 20.0
+
+    def test_start_time_offset(self):
+        clock = SimClock(time_step=1.0, start_time=100.0)
+        clock.advance(5)
+        assert clock.now == 105.0
+
+    def test_negative_step_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_invalid_time_step_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(time_step=0.0)
+
+    def test_time_of_step(self):
+        clock = SimClock(time_step=0.25)
+        assert clock.time_of_step(8) == pytest.approx(2.0)
+
+    def test_step_of_time(self):
+        clock = SimClock(time_step=2.0)
+        assert clock.step_of_time(5.0) == 2
+
+    def test_step_of_time_before_start_rejected(self):
+        clock = SimClock(start_time=10.0)
+        with pytest.raises(ClockError):
+            clock.step_of_time(5.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(7)
+        clock.reset()
+        assert clock.step == 0
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(1, "traffic")
+        b = make_rng(1, "traffic")
+        assert a.random() == b.random()
+
+    def test_different_names_differ(self):
+        a = make_rng(1, "traffic")
+        b = make_rng(1, "lengths")
+        assert a.random() != b.random()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1, "traffic")
+        b = make_rng(2, "traffic")
+        assert a.random() != b.random()
+
+    def test_stream_child_is_deterministic(self):
+        parent = RngStream(5, "trace")
+        child_a = parent.child("coding")
+        child_b = RngStream(5, "trace").child("coding")
+        assert child_a.random() == child_b.random()
+
+    def test_stream_helpers_return_expected_shapes(self):
+        stream = RngStream(3, "test")
+        assert stream.uniform(0, 1, size=4).shape == (4,)
+        assert stream.poisson(2.0, size=3).shape == (3,)
+        assert stream.integers(0, 10) < 10
+
+    def test_choice_respects_options(self):
+        stream = RngStream(3, "choice")
+        values = {stream.choice(["a", "b"]) for _ in range(20)}
+        assert values <= {"a", "b"}
+
+
+class TestEventLog:
+    def test_emit_and_count(self):
+        log = EventLog()
+        log.emit(1.0, "reshard", "pool:SS", tp=2)
+        log.emit(2.0, "reshard", "pool:MM", tp=4)
+        log.emit(3.0, "scale_out", "cluster")
+        assert len(log) == 3
+        assert log.count("reshard") == 2
+        assert log.count() == 3
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.emit(1.0, "a", "x")
+        log.emit(2.0, "b", "x")
+        assert [e.kind for e in log.of_kind("a")] == ["a"]
+
+    def test_between_is_half_open(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0):
+            log.emit(t, "tick", "clock")
+        assert len(log.between(0.0, 2.0)) == 2
+
+    def test_last_of_kind(self):
+        log = EventLog()
+        log.emit(1.0, "a", "x", value=1)
+        log.emit(2.0, "b", "x")
+        log.emit(3.0, "a", "x", value=2)
+        assert log.last("a").payload["value"] == 2
+
+    def test_last_returns_none_when_empty(self):
+        assert EventLog().last() is None
+
+    def test_payload_is_stored(self):
+        log = EventLog()
+        event = log.emit(0.0, "freq_change", "inst", frequency_mhz=1200)
+        assert event.payload["frequency_mhz"] == 1200
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(0.0, "x", "y")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestPeriodicScheduler:
+    def test_action_fires_at_offset(self):
+        fired = []
+        action = PeriodicAction("a", period=10.0, callback=fired.append, offset=5.0)
+        assert not action.maybe_fire(4.0)
+        assert action.maybe_fire(5.0)
+        assert fired == [5.0]
+
+    def test_action_fires_once_per_period(self):
+        fired = []
+        action = PeriodicAction("a", period=10.0, callback=fired.append)
+        action.maybe_fire(0.0)
+        assert not action.maybe_fire(5.0)
+        assert action.maybe_fire(10.0)
+        assert fired == [0.0, 10.0]
+
+    def test_action_catches_up_after_jump(self):
+        fired = []
+        action = PeriodicAction("a", period=1.0, callback=fired.append)
+        action.maybe_fire(0.0)
+        action.maybe_fire(5.5)
+        # Only one (late) firing, but the next due time moves past now.
+        assert fired == [0.0, 5.5]
+        assert action.next_due == pytest.approx(6.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicAction("a", period=0.0, callback=lambda now: None)
+
+    def test_scheduler_fires_in_registration_order(self):
+        order = []
+        scheduler = PeriodicScheduler()
+        scheduler.add("first", 1.0, lambda now: order.append("first"))
+        scheduler.add("second", 1.0, lambda now: order.append("second"))
+        fired = scheduler.tick(0.0)
+        assert fired == ["first", "second"]
+        assert order == ["first", "second"]
+
+    def test_scheduler_tick_reports_only_due_actions(self):
+        scheduler = PeriodicScheduler()
+        scheduler.add("fast", 1.0, lambda now: None)
+        scheduler.add("slow", 100.0, lambda now: None, offset=100.0)
+        assert scheduler.tick(1.0) == ["fast"]

@@ -1,0 +1,442 @@
+"""Tests for the workload package: requests, classification, SLOs, traces."""
+
+import pytest
+
+from repro.workload.arrival import LOAD_LEVELS, PoissonArrivalGenerator, get_load_level
+from repro.workload.classification import (
+    DEFAULT_SCHEME,
+    REQUEST_TYPE_NAMES,
+    REQUEST_TYPES,
+    ClassificationScheme,
+    LengthClass,
+    RequestType,
+    classify_length,
+    classify_request,
+    equivalent_prompt_tokens,
+    representative_lengths,
+    scheme_for_pool_count,
+    ttft_safety_factor,
+    type_intensity,
+)
+from repro.workload.load_predictor import TemplateLoadPredictor
+from repro.workload.predictor import OutputLengthPredictor
+from repro.workload.request import Request, RequestOutcome
+from repro.workload.slo import DEFAULT_SLO_POLICY, SLO, SLOPolicy
+from repro.workload.synthetic import (
+    CODING_PROFILE,
+    CONVERSATION_PROFILE,
+    SyntheticTraceGenerator,
+    make_day_trace,
+    make_one_hour_trace,
+    make_week_trace,
+)
+from repro.workload.traces import Trace, bin_trace, load_trace_csv, save_trace_csv, type_distribution
+
+
+class TestRequest:
+    def test_total_tokens(self):
+        request = Request(arrival_time=0.0, input_tokens=100, output_tokens=50)
+        assert request.total_tokens == 150
+
+    def test_rejects_non_positive_lengths(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, input_tokens=0, output_tokens=10)
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, input_tokens=10, output_tokens=0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=-1.0, input_tokens=10, output_tokens=10)
+
+    def test_request_ids_unique(self):
+        a = Request(arrival_time=0.0, input_tokens=1, output_tokens=1)
+        b = Request(arrival_time=0.0, input_tokens=1, output_tokens=1)
+        assert a.request_id != b.request_id
+
+    def test_outcome_latency_metrics(self):
+        request = Request(arrival_time=10.0, input_tokens=100, output_tokens=11)
+        outcome = RequestOutcome(
+            request=request,
+            pool="MM",
+            instance_id="i",
+            start_time=10.0,
+            first_token_time=10.5,
+            completion_time=11.5,
+        )
+        assert outcome.ttft == pytest.approx(0.5)
+        assert outcome.tbt == pytest.approx(0.1)
+        assert outcome.latency == pytest.approx(1.5)
+        assert outcome.meets(1.0, 0.2)
+        assert not outcome.meets(0.4, 0.2)
+
+    def test_squashed_outcome_never_meets_slo(self):
+        request = Request(arrival_time=0.0, input_tokens=10, output_tokens=10)
+        outcome = RequestOutcome(request, "p", "i", 0.0, 0.0, 0.0, squashed=True)
+        assert not outcome.meets(10.0, 10.0)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "n_in,n_out,expected",
+        [
+            (100, 50, "SS"),
+            (100, 200, "SM"),
+            (100, 500, "SL"),
+            (500, 50, "MS"),
+            (500, 200, "MM"),
+            (500, 500, "ML"),
+            (2000, 50, "LS"),
+            (2000, 200, "LM"),
+            (2000, 500, "LL"),
+        ],
+    )
+    def test_bucket_boundaries(self, n_in, n_out, expected):
+        assert classify_length(n_in, n_out).name == expected
+
+    def test_threshold_edges(self):
+        assert classify_length(255, 99).name == "SS"
+        assert classify_length(256, 100).name == "MM"
+        assert classify_length(1024, 350).name == "LL"
+
+    def test_nine_request_types(self):
+        assert len(REQUEST_TYPES) == 9
+        assert len(set(REQUEST_TYPE_NAMES)) == 9
+
+    def test_classify_request_uses_true_lengths(self):
+        request = Request(arrival_time=0.0, input_tokens=2000, output_tokens=400)
+        assert classify_request(request).name == "LL"
+
+    def test_request_type_roundtrip(self):
+        for name in REQUEST_TYPE_NAMES:
+            assert RequestType.from_name(name).name == name
+
+    def test_from_name_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            RequestType.from_name("XXL")
+
+    def test_size_rank_orders_ll_largest(self):
+        ranks = {name: RequestType.from_name(name).size_rank for name in REQUEST_TYPE_NAMES}
+        assert ranks["LL"] == max(ranks.values())
+        assert ranks["SS"] == min(ranks.values())
+
+    def test_representative_lengths_stay_in_bucket(self):
+        for name in REQUEST_TYPE_NAMES:
+            request_type = RequestType.from_name(name)
+            n_in, n_out = representative_lengths(request_type)
+            assert classify_length(n_in, n_out) == request_type
+
+    def test_type_intensity_higher_for_decode_heavy_buckets(self):
+        assert type_intensity("SL") > type_intensity("LS")
+        assert type_intensity("SS") > 1.0
+
+    def test_equivalent_tokens_identity(self):
+        assert equivalent_prompt_tokens(100, "MM", "MM") == pytest.approx(100.0)
+
+    def test_equivalent_tokens_scales_by_intensity(self):
+        converted = equivalent_prompt_tokens(100, "SL", "LL")
+        assert converted > 100.0  # SL prompt tokens carry more work than LL ones
+
+    def test_ttft_safety_factor_at_least_one(self):
+        for name in REQUEST_TYPE_NAMES:
+            assert ttft_safety_factor(RequestType.from_name(name)) >= 1.0
+
+
+class TestClassificationScheme:
+    def test_default_scheme_has_nine_pools(self):
+        assert DEFAULT_SCHEME.num_pools == 9
+
+    def test_scheme_requires_full_cover(self):
+        with pytest.raises(ValueError):
+            ClassificationScheme(name="bad", groups=(("SS",),))
+
+    def test_scheme_rejects_duplicates(self):
+        groups = [[n] for n in REQUEST_TYPE_NAMES[:-1]] + [["SS"]]
+        with pytest.raises(ValueError):
+            ClassificationScheme(name="dup", groups=tuple(tuple(g) for g in groups))
+
+    def test_pool_of_maps_members(self):
+        scheme = scheme_for_pool_count(2)
+        for name in REQUEST_TYPE_NAMES:
+            pool = scheme.pool_of(RequestType.from_name(name))
+            assert name in scheme.members(pool)
+
+    def test_heaviest_member(self):
+        scheme = scheme_for_pool_count(2)
+        heavy_pool = scheme.pool_of(RequestType.from_name("LL"))
+        assert scheme.heaviest_member(heavy_pool).name == "LL"
+
+    def test_next_larger_pool_dominates(self):
+        for name in REQUEST_TYPE_NAMES:
+            pool = DEFAULT_SCHEME.pool_of(RequestType.from_name(name))
+            target = DEFAULT_SCHEME.next_larger_pool(pool)
+            source_type = DEFAULT_SCHEME.heaviest_member(pool)
+            target_type = DEFAULT_SCHEME.heaviest_member(target)
+            order = [LengthClass.SHORT, LengthClass.MEDIUM, LengthClass.LONG]
+            assert order.index(target_type.input_class) >= order.index(source_type.input_class) or target == pool
+            assert order.index(target_type.output_class) >= order.index(source_type.output_class) or target == pool
+
+    def test_largest_pool_spills_to_itself(self):
+        pool = DEFAULT_SCHEME.pool_of(RequestType.from_name("LL"))
+        assert DEFAULT_SCHEME.next_larger_pool(pool) == pool
+
+    @pytest.mark.parametrize("count", [2, 4, 6, 9])
+    def test_scheme_for_pool_count(self, count):
+        scheme = scheme_for_pool_count(count)
+        assert scheme.num_pools == count
+
+    def test_scheme_for_large_pool_count_falls_back(self):
+        assert scheme_for_pool_count(16).num_pools == 9
+
+    def test_scheme_for_unknown_count_raises(self):
+        with pytest.raises(ValueError):
+            scheme_for_pool_count(5)
+
+
+class TestSLO:
+    def test_table4_values(self):
+        policy = DEFAULT_SLO_POLICY
+        assert policy.ttft_slo(RequestType.from_name("SS")) == pytest.approx(0.250)
+        assert policy.ttft_slo(RequestType.from_name("MM")) == pytest.approx(0.400)
+        assert policy.ttft_slo(RequestType.from_name("LL")) == pytest.approx(2.000)
+        assert policy.tbt_slo(RequestType.from_name("SL")) == pytest.approx(0.100)
+
+    def test_ttft_depends_only_on_input_class(self):
+        policy = DEFAULT_SLO_POLICY
+        assert policy.ttft_slo(RequestType.from_name("LS")) == policy.ttft_slo(
+            RequestType.from_name("LL")
+        )
+
+    def test_scaled_policy_relaxes_slo(self):
+        relaxed = SLOPolicy(scale=2.0)
+        assert relaxed.ttft_slo(RequestType.from_name("SS")) == pytest.approx(0.5)
+
+    def test_slo_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLO(ttft_s=1.0, tbt_s=0.1).scaled(0.0)
+
+    def test_is_met_by(self):
+        slo = SLO(ttft_s=0.5, tbt_s=0.1)
+        assert slo.is_met_by(0.4, 0.05)
+        assert not slo.is_met_by(0.6, 0.05)
+        assert not slo.is_met_by(0.4, 0.2)
+
+    def test_policy_table_covers_all_types(self):
+        assert set(DEFAULT_SLO_POLICY.table()) == set(REQUEST_TYPE_NAMES)
+
+
+class TestTraces:
+    def test_trace_sorts_requests(self):
+        requests = [
+            Request(arrival_time=5.0, input_tokens=1, output_tokens=1),
+            Request(arrival_time=1.0, input_tokens=1, output_tokens=1),
+        ]
+        trace = Trace(name="t", requests=requests)
+        assert trace.requests[0].arrival_time == 1.0
+
+    def test_slice_rebases_times(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=1)
+        part = trace.slice(60.0, 120.0)
+        assert all(0.0 <= r.arrival_time < 60.0 for r in part.requests)
+
+    def test_scaled_down_reduces_requests(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=1)
+        half = trace.scaled(0.5)
+        assert 0 < len(half) < len(trace)
+
+    def test_scaled_up_increases_requests(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=1).slice(0, 300)
+        double = trace.scaled(2.0)
+        assert len(double) == 2 * len(trace)
+
+    def test_scaled_rejects_non_positive(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=1)
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_bin_trace_conserves_requests(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=2).slice(0, 600)
+        bins = bin_trace(trace, 60.0)
+        assert sum(b.request_count for b in bins) == len(trace)
+
+    def test_bin_trace_rejects_bad_bins(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=2).slice(0, 60)
+        with pytest.raises(ValueError):
+            bin_trace(trace, 0.0)
+
+    def test_type_distribution_sums_to_one(self):
+        trace = make_one_hour_trace(rate_scale=2.0, seed=3).slice(0, 600)
+        distribution = type_distribution(trace)
+        assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=4).slice(0, 120)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, str(path))
+        loaded = load_trace_csv(str(path))
+        assert len(loaded) == len(trace)
+        assert loaded.requests[0].input_tokens == trace.requests[0].input_tokens
+
+
+class TestSyntheticTraces:
+    def test_one_hour_trace_duration(self):
+        trace = make_one_hour_trace(rate_scale=1.0, seed=5)
+        assert 3000.0 < trace.duration <= 3600.0
+
+    def test_day_trace_duration(self):
+        trace = make_day_trace(rate_scale=0.2, seed=5)
+        assert trace.duration <= 86400.0
+        assert trace.duration > 80000.0
+
+    def test_deterministic_for_same_seed(self):
+        a = make_one_hour_trace(rate_scale=1.0, seed=6)
+        b = make_one_hour_trace(rate_scale=1.0, seed=6)
+        assert len(a) == len(b)
+        assert a.requests[0].input_tokens == b.requests[0].input_tokens
+
+    def test_different_seeds_differ(self):
+        a = make_one_hour_trace(rate_scale=1.0, seed=6)
+        b = make_one_hour_trace(rate_scale=1.0, seed=7)
+        assert len(a) != len(b) or a.requests[0].input_tokens != b.requests[0].input_tokens
+
+    def test_rate_scale_scales_volume(self):
+        small = make_one_hour_trace(rate_scale=1.0, seed=8)
+        large = make_one_hour_trace(rate_scale=3.0, seed=8)
+        assert len(large) > 2 * len(small)
+
+    def test_coding_has_longer_inputs_than_conversation(self):
+        coding = make_one_hour_trace("coding", rate_scale=1.0, seed=9)
+        conversation = make_one_hour_trace("conversation", rate_scale=1.0, seed=9)
+        coding_mean_in = sum(r.input_tokens for r in coding) / len(coding)
+        conv_mean_in = sum(r.input_tokens for r in conversation) / len(conversation)
+        assert coding_mean_in > conv_mean_in
+
+    def test_conversation_has_longer_outputs_than_coding(self):
+        coding = make_one_hour_trace("coding", rate_scale=1.0, seed=9)
+        conversation = make_one_hour_trace("conversation", rate_scale=1.0, seed=9)
+        coding_mean_out = sum(r.output_tokens for r in coding) / len(coding)
+        conv_mean_out = sum(r.output_tokens for r in conversation) / len(conversation)
+        assert conv_mean_out > coding_mean_out
+
+    def test_week_bins_cover_week(self):
+        bins = make_week_trace("coding", seed=10, bin_seconds=3600.0)
+        assert len(bins) == 7 * 24
+
+    def test_weekly_load_is_diurnal(self):
+        profile = CODING_PROFILE
+        midday = profile.load_shape(14 * 3600.0)
+        midnight = profile.load_shape(3 * 3600.0)
+        assert midday > 3 * midnight
+
+    def test_weekend_load_lower_than_weekday(self):
+        profile = CODING_PROFILE
+        weekday_noon = profile.load_shape(1 * 86400.0 + 14 * 3600.0)  # Tuesday
+        weekend_noon = profile.load_shape(5 * 86400.0 + 14 * 3600.0)  # Saturday
+        assert weekend_noon < weekday_noon
+
+    def test_conversation_milder_than_coding(self):
+        conv = CONVERSATION_PROFILE
+        coding = CODING_PROFILE
+        conv_ratio = conv.load_shape(14 * 3600.0) / conv.load_shape(3 * 3600.0)
+        coding_ratio = coding.load_shape(14 * 3600.0) / coding.load_shape(3 * 3600.0)
+        assert coding_ratio > conv_ratio
+
+    def test_generator_respects_token_caps(self):
+        generator = SyntheticTraceGenerator(CODING_PROFILE, seed=11, rate_scale=2.0)
+        trace = generator.generate_requests(600.0)
+        assert all(r.input_tokens <= CODING_PROFILE.max_input_tokens for r in trace)
+        assert all(r.output_tokens <= CODING_PROFILE.max_output_tokens for r in trace)
+
+
+class TestArrivals:
+    def test_load_levels_match_paper(self):
+        assert get_load_level("low").prompt_tokens_per_second == 650.0
+        assert get_load_level("medium").prompt_tokens_per_second == 2000.0
+        assert get_load_level("high").prompt_tokens_per_second == 4000.0
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            get_load_level("extreme")
+
+    def test_poisson_trace_hits_target_load(self):
+        generator = PoissonArrivalGenerator(seed=13)
+        trace = generator.generate(LOAD_LEVELS["medium"], duration_s=600.0)
+        observed = sum(r.input_tokens for r in trace) / 600.0
+        assert observed == pytest.approx(2000.0, rel=0.25)
+
+    def test_poisson_per_type_trace_stays_in_bucket(self):
+        generator = PoissonArrivalGenerator(seed=13)
+        trace = generator.generate(LOAD_LEVELS["low"], duration_s=300.0, request_type="MM")
+        assert all(classify_request(r).name == "MM" for r in trace)
+
+    def test_poisson_deterministic_per_seed(self):
+        a = PoissonArrivalGenerator(seed=14).generate(LOAD_LEVELS["low"], 120.0)
+        b = PoissonArrivalGenerator(seed=14).generate(LOAD_LEVELS["low"], 120.0)
+        assert len(a) == len(b)
+
+
+class TestPredictors:
+    def test_perfect_predictor_always_correct(self):
+        predictor = OutputLengthPredictor(accuracy=1.0)
+        request = Request(arrival_time=0.0, input_tokens=500, output_tokens=500)
+        assert predictor.predict(request).name == "ML"
+        assert predictor.observed_accuracy == 1.0
+
+    def test_accuracy_zero_never_correct(self):
+        predictor = OutputLengthPredictor(accuracy=0.0, seed=3)
+        request = Request(arrival_time=0.0, input_tokens=500, output_tokens=500)
+        for _ in range(20):
+            assert predictor.predict(request).output_class.value != "L"
+
+    def test_input_class_never_perturbed(self):
+        predictor = OutputLengthPredictor(accuracy=0.0, seed=3)
+        request = Request(arrival_time=0.0, input_tokens=2000, output_tokens=500)
+        for _ in range(10):
+            assert predictor.predict(request).input_class.value == "L"
+
+    def test_observed_accuracy_tracks_parameter(self):
+        predictor = OutputLengthPredictor(accuracy=0.7, seed=5)
+        request = Request(arrival_time=0.0, input_tokens=500, output_tokens=200)
+        for _ in range(500):
+            predictor.predict(request)
+        assert predictor.observed_accuracy == pytest.approx(0.7, abs=0.08)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            OutputLengthPredictor(accuracy=1.5)
+
+    def test_error_is_bounded_to_neighbouring_class(self):
+        predictor = OutputLengthPredictor(accuracy=0.0, seed=7)
+        request = Request(arrival_time=0.0, input_tokens=100, output_tokens=50)  # SS
+        for _ in range(20):
+            predicted = predictor.predict(request)
+            assert predicted.output_class.value in ("M",)  # S can only move to M
+
+    def test_load_predictor_learns_template(self):
+        predictor = TemplateLoadPredictor(blend=1.0, headroom=1.0)
+        for week in range(3):
+            predictor.observe(week * 604800.0 + 10 * 3600.0, "MM", 1000.0)
+        forecast = predictor.predict(3 * 604800.0 + 10 * 3600.0, "MM")
+        assert forecast == pytest.approx(1000.0)
+
+    def test_load_predictor_headroom(self):
+        predictor = TemplateLoadPredictor(blend=1.0, headroom=1.2)
+        predictor.observe(10 * 3600.0, "MM", 1000.0)
+        assert predictor.predict(10 * 3600.0, "MM") == pytest.approx(1200.0)
+
+    def test_load_predictor_unknown_type_returns_zero(self):
+        predictor = TemplateLoadPredictor()
+        assert predictor.predict(0.0, "SS") == 0.0
+
+    def test_load_predictor_blends_with_last_value(self):
+        predictor = TemplateLoadPredictor(blend=0.5, headroom=1.0)
+        predictor.observe(10 * 3600.0, "MM", 1000.0)
+        predictor.observe(11 * 3600.0, "MM", 2000.0)
+        forecast = predictor.predict(10 * 3600.0, "MM")
+        # Template for slot 10h is 1000, last observation is 2000.
+        assert 1000.0 < forecast < 2000.0
+
+    def test_predict_all_covers_types(self):
+        predictor = TemplateLoadPredictor()
+        predictor.observe(0.0, "SS", 10.0)
+        forecasts = predictor.predict_all(0.0, ["SS", "MM"])
+        assert set(forecasts) == {"SS", "MM"}
