@@ -3,13 +3,15 @@
 Each benchmark regenerates one table or figure of the paper.  Heavy
 cluster simulations run with ``rounds=1`` via ``benchmark.pedantic`` so
 the harness stays tractable; the analytical tables run as ordinary
-benchmarks.
+benchmarks.  The engine benchmarks (``test_bench_engine.py``) compare
+the unified ``repro.api`` engine in full and lean observer modes.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api.scenario import Scenario, TraceSpec
 from repro.experiments.runner import ExperimentConfig
 from repro.llm.catalog import LLAMA2_70B
 from repro.perf.profiler import get_default_profile
@@ -31,3 +33,23 @@ def bench_trace():
 @pytest.fixture(scope="session")
 def bench_config(profile):
     return ExperimentConfig(profile=profile, max_servers=24)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario(bench_trace, bench_config):
+    """A DynamoLLM scenario over the benchmark trace (engine benchmarks)."""
+    return Scenario(policy="DynamoLLM", trace=bench_trace, base_config=bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_grid(bench_config):
+    """A 12-scenario grid for sweep benchmarks (2 policies x 2 acc x 3 SLO)."""
+    from repro.api.scenario import sweep
+
+    return sweep(
+        policies=("SinglePool", "DynamoLLM"),
+        traces=(TraceSpec(rate_scale=6.0, duration_s=300.0),),
+        accuracies=(None, 0.8),
+        slo_scales=(None, 2.0, 4.0),
+        base_config=bench_config,
+    )

@@ -1,0 +1,62 @@
+"""Benchmarks of the unified scenario/engine API.
+
+Measures the stepped :class:`~repro.api.engine.SimulationEngine` with the
+full observer set against ``lean=True`` (summary observers only), and a
+12-scenario sweep serial vs thread-parallel.  The lean and parallel modes
+exist purely for sweep speed — their summary metrics are asserted equal
+to the full/serial runs.
+"""
+
+from __future__ import annotations
+
+from repro.api.executor import run_grid, run_scenario
+
+
+def _engine_run(scenario, lean):
+    return run_scenario(scenario, lean=lean)
+
+
+def test_engine_full_observers(benchmark, bench_scenario):
+    """One DynamoLLM run with the full observer set (timelines included)."""
+    summary = benchmark.pedantic(
+        _engine_run, args=(bench_scenario, False), rounds=1, iterations=1
+    )
+    assert summary.energy_kwh > 0.0
+    assert summary.frequency_timeline  # timelines recorded
+
+
+def test_engine_lean_observers(benchmark, bench_scenario):
+    """Same run with lean observers — same summary metrics, no timelines."""
+    summary = benchmark.pedantic(
+        _engine_run, args=(bench_scenario, True), rounds=1, iterations=1
+    )
+    assert summary.energy_kwh > 0.0
+    assert not summary.frequency_timeline  # timelines skipped
+
+    reference = run_scenario(bench_scenario, lean=False)
+    assert summary.energy_kwh == reference.energy_kwh
+    assert summary.latency.count == reference.latency.count
+
+
+def test_sweep_serial(benchmark, bench_grid):
+    """12-scenario sweep executed serially."""
+    results = benchmark.pedantic(
+        run_grid, args=(bench_grid,), kwargs={"lean": True}, rounds=1, iterations=1
+    )
+    assert len(results) == len(bench_grid)
+
+
+def test_sweep_parallel(benchmark, bench_grid):
+    """Same sweep on four worker threads — results must match serial."""
+    results = benchmark.pedantic(
+        run_grid,
+        args=(bench_grid,),
+        kwargs={"workers": 4, "lean": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(bench_grid)
+    serial = run_grid(bench_grid, lean=True)
+    assert {k: s.energy_kwh for k, s in results.items()} == {
+        k: s.energy_kwh for k, s in serial.items()
+    }

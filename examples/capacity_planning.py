@@ -12,6 +12,9 @@ answer the questions an operator would ask before deploying a service:
 Run with::
 
     python examples/capacity_planning.py [--load 2000] [--model Llama2-70B]
+
+The same tables can be regenerated (and timed) by artefact id via the
+registry-backed CLI: ``python -m repro bench table1 table2 table3``.
 """
 
 from __future__ import annotations

@@ -9,7 +9,11 @@ average server count and number of reconfigurations.
 
 Run with::
 
-    python examples/coding_service.py [--rate-scale 40]
+    python examples/coding_service.py [--rate-scale 40] [--service coding]
+
+(Request-level scenario sweeps over the same policies are available via
+``python -m repro sweep``; the week-long studies stay on the fast fluid
+simulator.)
 """
 
 from __future__ import annotations
@@ -24,14 +28,15 @@ from repro.policies import ALL_POLICIES
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rate-scale", type=float, default=40.0)
+    parser.add_argument("--service", default="coding", choices=("conversation", "coding"))
     args = parser.parse_args()
 
-    bins = week_bins("coding", rate_scale=args.rate_scale)
+    bins = week_bins(args.service, rate_scale=args.rate_scale)
     runner = FluidRunner()
     results = runner.run_all(ALL_POLICIES, bins)
     baseline_energy = results["SinglePool"].energy_wh
 
-    print("== Coding service, one week ==")
+    print(f"== {args.service.capitalize()} service, one week ==")
     print(
         f"{'policy':12s} {'energy kWh':>11s} {'normalized':>11s} "
         f"{'avg servers':>12s} {'reconfigs':>10s}"

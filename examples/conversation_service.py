@@ -10,6 +10,10 @@ energy series head, daily totals, carbon emissions and cost.
 Run with::
 
     python examples/conversation_service.py [--rate-scale 40]
+
+(The registry-backed equivalents are ``python -m repro bench figure15
+figure16``; request-level runs of the same systems are one
+``python -m repro run --policy DynamoLLM --trace one_hour`` away.)
 """
 
 from __future__ import annotations

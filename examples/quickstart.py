@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: compare the six evaluated systems on a short trace.
 
-Generates a 10-minute slice of the synthetic Conversation trace, runs
-SinglePool, MultiPool, ScaleInst, ScaleShard, ScaleFreq and DynamoLLM on
-the cluster simulator, and prints energy, latency and SLO attainment —
-a miniature version of the paper's Figures 6 and 7.
+Runs ``repro.quick_comparison`` — a 10-minute slice of the synthetic
+Conversation trace through all six policies on the unified engine API
+(in parallel with ``--workers``) — and prints energy, latency and SLO
+attainment: a miniature version of the paper's Figures 6 and 7.  See
+the README for composing custom grids with ``repro.api.sweep``.
+
+The same comparison is available from the command line::
+
+    python -m repro sweep --policies SinglePool,MultiPool,ScaleInst,ScaleShard,ScaleFreq,DynamoLLM \
+        --duration 600 --rate-scale 10 --workers 4
 
 Run with::
 
-    python examples/quickstart.py [--duration 600] [--rate-scale 10]
+    python examples/quickstart.py [--duration 600] [--rate-scale 10] [--workers 4]
 """
 
 from __future__ import annotations
@@ -23,10 +29,14 @@ def main() -> None:
     parser.add_argument("--duration", type=float, default=600.0, help="trace length in seconds")
     parser.add_argument("--rate-scale", type=float, default=10.0, help="load scale factor")
     parser.add_argument("--service", default="conversation", choices=("conversation", "coding"))
+    parser.add_argument("--workers", type=int, default=None, help="parallel policy runs")
     args = parser.parse_args()
 
     results = quick_comparison(
-        duration_s=args.duration, rate_scale=args.rate_scale, service=args.service
+        duration_s=args.duration,
+        rate_scale=args.rate_scale,
+        service=args.service,
+        workers=args.workers,
     )
     summaries = results["summaries"]
     normalized = results["normalized_energy"]

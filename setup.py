@@ -1,10 +1,11 @@
-"""Setup shim.
+"""Setup shim — all real metadata lives in ``pyproject.toml`` (PEP 621).
 
-The environment used for this reproduction has no network access and no
-``wheel`` package, so PEP 517 editable installs (``pip install -e .``)
-cannot build the editable wheel.  This shim lets ``python setup.py
-develop`` (or legacy ``pip install -e . --no-build-isolation``) install
-the package from ``pyproject.toml`` metadata instead.
+With network access, ``pip install -e .`` works out of the box (build
+isolation provides setuptools + wheel) and installs the ``repro``
+console script.  In the offline container used for this reproduction
+there is no ``wheel`` package, so the PEP 517 editable-wheel path cannot
+run; ``python setup.py develop`` remains as the fallback, installing the
+same package and entry point from the pyproject metadata.
 """
 
 from setuptools import setup

@@ -11,13 +11,33 @@ simulation library:
 * :mod:`repro.core` — the DynamoLLM controllers (the paper's contribution);
 * :mod:`repro.policies` — the six evaluated systems;
 * :mod:`repro.metrics` — energy, latency, power, carbon and cost accounting;
-* :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.api` — the unified experiment API: immutable
+  :class:`~repro.api.scenario.Scenario` descriptions, the stepped
+  :class:`~repro.api.engine.SimulationEngine` with pluggable observers,
+  and parallel :func:`~repro.api.executor.run_grid` sweep execution;
+* :mod:`repro.experiments` — drivers regenerating every table and figure,
+  built on :mod:`repro.api`.
 
-Quickstart::
+Quickstart (library)::
 
     from repro import quick_comparison
     results = quick_comparison(duration_s=600)
     print(results["normalized_energy"])
+
+Quickstart (scenario API)::
+
+    from repro.api import TraceSpec, run_grid, sweep
+    grid = sweep(
+        policies=("SinglePool", "DynamoLLM"),
+        traces=(TraceSpec(rate_scale=10.0, duration_s=600.0),),
+        accuracies=(None, 0.8),
+    )
+    summaries = run_grid(grid, workers=4, lean=True)
+
+Quickstart (CLI)::
+
+    python -m repro run --policy DynamoLLM --trace one_hour --duration 600
+    python -m repro list-experiments
 """
 
 from repro.llm import MODEL_CATALOG, get_model, LLAMA2_70B, H100, DGX_H100
@@ -36,8 +56,20 @@ from repro.core import DynamoLLM, ControllerKnobs, ControllerEpochs
 from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL, build_policy, get_policy_spec
 from repro.metrics import RunSummary, CarbonIntensityTrace, CostModel
 from repro.experiments import ExperimentConfig, run_policy_on_trace, run_all_policies, FluidRunner
+from repro.api import (
+    Observer,
+    Scenario,
+    ScenarioGrid,
+    SimulationEngine,
+    TraceSpec,
+    run_grid,
+    run_policies,
+    run_scenario,
+    runs,
+    sweep,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "MODEL_CATALOG",
@@ -74,6 +106,17 @@ __all__ = [
     "run_all_policies",
     "FluidRunner",
     "quick_comparison",
+    # Unified scenario/engine API
+    "Scenario",
+    "ScenarioGrid",
+    "TraceSpec",
+    "SimulationEngine",
+    "Observer",
+    "sweep",
+    "runs",
+    "run_grid",
+    "run_scenario",
+    "run_policies",
 ]
 
 
@@ -82,20 +125,23 @@ def quick_comparison(
     rate_scale: float = 10.0,
     service: str = "conversation",
     policies=None,
+    workers=None,
 ):
     """Run a short head-to-head comparison of the evaluated systems.
 
     A convenience entry point for the README quickstart: generates a
     short slice of the synthetic 1-hour trace, runs the selected
-    policies, and returns their summaries plus SinglePool-normalised
-    energy.
+    policies (in parallel when ``workers`` > 1), and returns their
+    summaries plus SinglePool-normalised energy.
     """
     from repro.metrics.summary import compare_energy
 
     trace = make_one_hour_trace(service, rate_scale=rate_scale)
     if duration_s < trace.duration:
         trace = trace.slice(0.0, duration_s)
-    summaries = run_all_policies(trace, policies or ALL_POLICIES, ExperimentConfig())
+    summaries = run_policies(
+        trace, policies or ALL_POLICIES, ExperimentConfig(), workers=workers
+    )
     return {
         "summaries": summaries,
         "normalized_energy": compare_energy(summaries, baseline="SinglePool"),

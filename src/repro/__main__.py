@@ -1,0 +1,269 @@
+"""``python -m repro`` — command-line front end for the reproduction.
+
+Subcommands:
+
+* ``run``   — simulate one policy on one trace and print the headline
+  metrics (energy, latency percentiles, SLO attainment).
+* ``sweep`` — expand a scenario grid over policies x trace x SLO scales
+  x predictor accuracies x pool counts and run it, optionally in
+  parallel (``--workers``).
+* ``list-experiments`` — list the registered paper artefacts.
+* ``bench`` — run registered experiments by id and report wall-clock
+  times (defaults to the light, analytic artefacts).
+
+Installed as the ``repro`` console script by ``pip install -e .``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _trace_spec(args):
+    from repro.api import TraceSpec
+
+    if args.trace == "one_hour":
+        return TraceSpec(
+            kind="one_hour",
+            service=args.service,
+            rate_scale=args.rate_scale,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+    return TraceSpec(
+        kind="poisson",
+        level=args.level,
+        load_multiplier=args.load_multiplier,
+        duration_s=args.duration or 1800.0,
+        seed=args.seed,
+    )
+
+
+def _headline_row(key: str, summary) -> dict:
+    table = summary.latency.percentile_table()
+    return {
+        "scenario": key,
+        "energy_kwh": summary.energy_kwh,
+        "avg_servers": summary.average_servers,
+        "p50_ttft_s": table["ttft_s"][50],
+        "p99_ttft_s": table["ttft_s"][99],
+        "p99_tbt_s": table["tbt_s"][99],
+        "slo_attainment": summary.slo_attainment(),
+        "requests": summary.latency.count,
+    }
+
+
+def _print_rows(rows: Sequence[dict]) -> None:
+    header = (
+        f"{'scenario':48s} {'kWh':>9s} {'srv':>6s} {'P50 TTFT':>9s} "
+        f"{'P99 TTFT':>9s} {'P99 TBT':>8s} {'SLO':>6s} {'reqs':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['scenario']:48s} {row['energy_kwh']:9.3f} {row['avg_servers']:6.1f} "
+            f"{row['p50_ttft_s']:9.3f} {row['p99_ttft_s']:9.3f} {row['p99_tbt_s']:8.3f} "
+            f"{row['slo_attainment']:6.3f} {row['requests']:7d}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    from repro.api import Scenario, run_scenario
+
+    scenario = Scenario(
+        policy=args.policy,
+        trace=_trace_spec(args),
+        slo_scale=args.slo_scale,
+        predictor_accuracy=args.accuracy,
+        pool_count=args.pools,
+        static_servers=args.static_servers,
+        max_servers=args.max_servers,
+    )
+    started = time.perf_counter()
+    summary = run_scenario(scenario, lean=args.lean)
+    elapsed = time.perf_counter() - started
+    row = _headline_row(scenario.key, summary)
+    if args.json:
+        print(json.dumps({**row, "wall_s": elapsed}, indent=2))
+    else:
+        _print_rows([row])
+        print(f"\nsimulated {summary.duration_s:.0f}s in {elapsed:.1f}s wall-clock")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.api import run_grid, sweep
+
+    policies = _names(args.policies)
+    if not policies:
+        raise ValueError("--policies must name at least one policy")
+    grid = sweep(
+        policies=policies,
+        traces=(_trace_spec(args),),
+        slo_scales=_floats(args.slo_scales) if args.slo_scales else (None,),
+        accuracies=_floats(args.accuracies) if args.accuracies else (None,),
+        pool_counts=_ints(args.pool_counts) if args.pool_counts else (None,),
+    )
+    print(f"running {len(grid)} scenarios (workers={args.workers}) ...", file=sys.stderr)
+    started = time.perf_counter()
+    summaries = run_grid(
+        grid, workers=args.workers, lean=not args.timelines, mode=args.mode
+    )
+    elapsed = time.perf_counter() - started
+    rows = [_headline_row(key, summary) for key, summary in summaries.items()]
+    if args.json:
+        print(json.dumps({"wall_s": elapsed, "results": rows}, indent=2))
+    else:
+        _print_rows(rows)
+        print(f"\n{len(rows)} scenarios in {elapsed:.1f}s wall-clock")
+    return 0
+
+
+def cmd_list_experiments(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS, list_experiments
+
+    identifiers = list_experiments(include_heavy=not args.light)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    identifier: {
+                        "description": EXPERIMENTS[identifier].description,
+                        "heavy": EXPERIMENTS[identifier].heavy,
+                    }
+                    for identifier in identifiers
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for identifier in identifiers:
+        experiment = EXPERIMENTS[identifier]
+        marker = " [heavy]" if experiment.heavy else ""
+        print(f"{identifier:12s} {experiment.description}{marker}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments.registry import get_experiment, list_experiments
+
+    identifiers = args.ids or list_experiments(include_heavy=args.heavy)
+    timings = {}
+    for identifier in identifiers:
+        experiment = get_experiment(identifier)
+        started = time.perf_counter()
+        experiment.driver()
+        timings[identifier] = time.perf_counter() - started
+        if not args.json:
+            print(f"{identifier:12s} {timings[identifier]:8.2f}s  {experiment.description}")
+    if args.json:
+        print(json.dumps(timings, indent=2))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default="one_hour", choices=("one_hour", "poisson"),
+        help="trace family to simulate",
+    )
+    parser.add_argument("--service", default="conversation", choices=("conversation", "coding"))
+    parser.add_argument("--duration", type=float, default=None, help="trace length in seconds")
+    parser.add_argument("--rate-scale", type=float, default=10.0, help="load scale factor")
+    parser.add_argument("--seed", type=int, default=7, help="trace RNG seed")
+    parser.add_argument("--level", default="medium", choices=("low", "medium", "high"),
+                        help="Poisson load level (with --trace poisson)")
+    parser.add_argument("--load-multiplier", type=float, default=6.0,
+                        help="Poisson level scale-up (with --trace poisson)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DynamoLLM reproduction: run scenarios, sweeps and paper artefacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one policy on one trace")
+    run_parser.add_argument("--policy", default="DynamoLLM", help="policy name (see repro.policies)")
+    _add_trace_arguments(run_parser)
+    run_parser.add_argument("--slo-scale", type=float, default=None)
+    run_parser.add_argument("--accuracy", type=float, default=None,
+                            help="output-length predictor accuracy")
+    run_parser.add_argument("--pools", type=int, default=None, help="pool-count override")
+    run_parser.add_argument("--static-servers", type=int, default=None)
+    run_parser.add_argument("--max-servers", type=int, default=None)
+    run_parser.add_argument("--lean", action="store_true", help="skip timeline observers")
+    run_parser.add_argument("--json", action="store_true")
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = subparsers.add_parser("sweep", help="run a scenario grid")
+    sweep_parser.add_argument(
+        "--policies", default="SinglePool,DynamoLLM",
+        help="comma-separated policy names",
+    )
+    _add_trace_arguments(sweep_parser)
+    sweep_parser.add_argument("--slo-scales", default=None, help="comma-separated, e.g. 1,2,4")
+    sweep_parser.add_argument("--accuracies", default=None, help="comma-separated, e.g. 1.0,0.8")
+    sweep_parser.add_argument("--pool-counts", default=None, help="comma-separated, e.g. 2,4,9")
+    sweep_parser.add_argument("--workers", type=int, default=None, help="parallel scenario runs")
+    sweep_parser.add_argument(
+        "--mode", default="thread", choices=("thread", "process"),
+        help="worker pool kind (process = true multi-core parallelism)",
+    )
+    sweep_parser.add_argument("--timelines", action="store_true",
+                              help="record full timelines (slower)")
+    sweep_parser.add_argument("--json", action="store_true")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    list_parser = subparsers.add_parser("list-experiments", help="list paper artefacts")
+    list_parser.add_argument("--light", action="store_true", help="hide heavy experiments")
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(func=cmd_list_experiments)
+
+    bench_parser = subparsers.add_parser("bench", help="time registered experiments")
+    bench_parser.add_argument("ids", nargs="*", help="experiment ids (default: all light)")
+    bench_parser.add_argument("--heavy", action="store_true",
+                              help="include heavy experiments when no ids given")
+    bench_parser.add_argument("--json", action="store_true")
+    bench_parser.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        # Unknown policy / experiment / trace kind: the registries raise
+        # KeyError with the known names listed — show it without a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Unified experiment-facing API: scenarios, engine, observers, executors.
+
+This layer replaces the monolithic ``run_policy_on_trace`` loop with
+three composable pieces:
+
+* :mod:`repro.api.scenario` — immutable :class:`Scenario` descriptions,
+  :class:`TraceSpec` recipes and the :func:`sweep` grid combinator;
+* :mod:`repro.api.engine` — the stepped :class:`SimulationEngine`
+  emitting typed events to pluggable :class:`Observer` collectors;
+* :mod:`repro.api.executor` — :func:`runs` / :func:`run_grid` /
+  :func:`run_policies` with optional thread-parallel execution.
+
+Quickstart::
+
+    from repro.api import TraceSpec, run_grid, sweep
+
+    grid = sweep(
+        policies=("SinglePool", "DynamoLLM"),
+        traces=(TraceSpec(service="conversation", rate_scale=10.0, duration_s=600.0),),
+        accuracies=(None, 0.8),
+    )
+    summaries = run_grid(grid, workers=4, lean=True)
+    for key, summary in summaries.items():
+        print(key, summary.energy_kwh)
+"""
+
+from repro.api.engine import SimulationEngine
+from repro.api.executor import run_grid, run_policies, run_scenario, runs
+from repro.api.observers import (
+    EnergyObserver,
+    EpochReconfigured,
+    LatencyObserver,
+    Observer,
+    PowerObserver,
+    ReconfigurationObserver,
+    RequestRouted,
+    RunFinished,
+    RunStarted,
+    ServerCountObserver,
+    StepCompleted,
+    TimelineObserver,
+    default_observers,
+)
+from repro.api.scenario import Scenario, ScenarioGrid, TraceSpec, sweep
+
+__all__ = [
+    "SimulationEngine",
+    "Scenario",
+    "ScenarioGrid",
+    "TraceSpec",
+    "sweep",
+    "run_scenario",
+    "runs",
+    "run_grid",
+    "run_policies",
+    "Observer",
+    "default_observers",
+    "EnergyObserver",
+    "LatencyObserver",
+    "PowerObserver",
+    "ServerCountObserver",
+    "TimelineObserver",
+    "ReconfigurationObserver",
+    "RunStarted",
+    "RequestRouted",
+    "EpochReconfigured",
+    "StepCompleted",
+    "RunFinished",
+]

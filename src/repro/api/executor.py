@@ -1,0 +1,205 @@
+"""Scenario executors: serial and parallel sweep running.
+
+``run_scenario`` runs one :class:`~repro.api.scenario.Scenario` on the
+:class:`~repro.api.engine.SimulationEngine`.  ``runs`` and ``run_grid``
+execute many scenarios, serially or on a ``concurrent.futures`` pool;
+results come back in input order (``runs``) or keyed by
+:attr:`Scenario.key` (``run_grid``) and are identical across execution
+modes (every engine owns its RNG streams, and parallel thread runs get
+private copies of shared request objects).
+
+Two parallel modes:
+
+* ``mode="thread"`` (default) — works everywhere, nothing to pickle.
+  The simulation is pure CPU-bound Python, so the GIL limits the
+  speedup; threads mainly help once scenario setup or observers do I/O.
+* ``mode="process"`` — true multi-core parallelism for large sweeps on
+  multi-core machines; scenarios and summaries must pickle (they do for
+  everything in-tree) and each worker pays a fork/spawn cost, so prefer
+  it when individual scenarios run for seconds, not milliseconds.
+
+``run_policies`` is the engine-backed successor of the legacy
+``run_all_policies``: it runs several policies over one trace with a
+shared static-server budget — computed into a local copy of the config,
+never written back onto the caller's.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.engine import SimulationEngine
+from repro.api.scenario import Scenario, ScenarioGrid
+from repro.metrics.summary import RunSummary
+from repro.policies.base import PolicySpec
+from repro.workload.traces import Trace
+
+#: (scenario, trace, config, load_fractions, warm_loads)
+_Job = Tuple[Scenario, Trace, object, dict, dict]
+
+
+def run_scenario(
+    scenario: Scenario,
+    lean: bool = False,
+    observers=None,
+    trace: Optional[Trace] = None,
+) -> RunSummary:
+    """Run one scenario to completion and return its summary.
+
+    ``trace`` short-circuits :meth:`TraceSpec.build` when the caller has
+    already materialised (and can share) the trace.
+    """
+    config = scenario.resolved_config()
+    trace = trace if trace is not None else scenario.build_trace()
+    engine = SimulationEngine(
+        scenario.policy_spec(), trace, config, observers=observers, lean=lean
+    )
+    return engine.run()
+
+
+def _prepared(scenarios: Sequence[Scenario]) -> List[_Job]:
+    """Materialise shared inputs once: traces, profiles, capacity planning.
+
+    Grid members sharing a trace reuse one built ``Trace``; the static
+    server budget (trace x profile) and the per-pool load fractions /
+    warm loads (trace x scheme) are each computed once instead of per
+    scenario.  Doing this serially up front also keeps worker threads
+    free of shared lazy caches, so parallel execution is deterministic
+    and does no duplicated work.
+    """
+    from repro.experiments.runner import (
+        load_fractions_from_trace,
+        pool_loads_from_trace,
+        resolve_static_servers,
+    )
+
+    traces: Dict[object, Trace] = {}
+    static_cache: Dict[Tuple[object, int], int] = {}
+    capacity_cache: Dict[Tuple[object, str], Tuple[dict, dict]] = {}
+    jobs: List[_Job] = []
+    for scenario in scenarios:
+        key = id(scenario.trace) if isinstance(scenario.trace, Trace) else scenario.trace
+        if key not in traces:
+            traces[key] = scenario.build_trace()
+        trace = traces[key]
+        config = scenario.resolved_config()
+        if config.profile is None:
+            config = dataclasses.replace(config, profile=config.resolved_profile())
+        if config.static_servers is None:
+            static_key = (key, id(config.profile))
+            if static_key not in static_cache:
+                static_cache[static_key] = resolve_static_servers(
+                    config, trace, config.profile
+                )
+            config = dataclasses.replace(
+                config, static_servers=static_cache[static_key]
+            )
+        scheme = scenario.policy_spec().scheme(config.scheme)
+        capacity_key = (key, scheme.name)
+        if capacity_key not in capacity_cache:
+            capacity_cache[capacity_key] = (
+                load_fractions_from_trace(trace, scheme),
+                pool_loads_from_trace(trace, scheme),
+            )
+        fractions, warm_loads = capacity_cache[capacity_key]
+        jobs.append((scenario, trace, config, fractions, warm_loads))
+    return jobs
+
+
+def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
+    scenario, trace, config, fractions, warm_loads = job
+    if isolate:
+        # Thread-parallel runs share Request objects across engines, and
+        # the cluster manager writes `request.predicted_type`; give each
+        # engine private copies so concurrent scenarios cannot race.
+        trace = Trace(
+            name=trace.name, requests=[copy.copy(r) for r in trace.requests]
+        )
+    engine = SimulationEngine(
+        scenario.policy_spec(),
+        trace,
+        config,
+        lean=lean,
+        load_fractions=fractions,
+        warm_loads=warm_loads,
+    )
+    return engine.run()
+
+
+def _execute(jobs: List[_Job], workers: Optional[int], lean: bool, mode: str) -> List[RunSummary]:
+    if not workers or workers <= 1:
+        return [_run_job(job, lean) for job in jobs]
+    if mode == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_job, job, lean, True) for job in jobs]
+            return [future.result() for future in futures]
+    if mode == "process":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_job, job, lean) for job in jobs]
+            return [future.result() for future in futures]
+    raise ValueError(f"unknown executor mode {mode!r}; use 'thread' or 'process'")
+
+
+def runs(
+    scenarios: Iterable[Scenario],
+    workers: Optional[int] = None,
+    lean: bool = False,
+    mode: str = "thread",
+) -> List[RunSummary]:
+    """Run many scenarios, returning summaries in input order.
+
+    ``workers`` > 1 executes scenarios on a thread or process pool (see
+    the module docstring for the trade-off); ``None``, 0 or 1 runs them
+    serially.  Results are identical in every mode.
+    """
+    return _execute(_prepared(list(scenarios)), workers, lean, mode)
+
+
+def run_grid(
+    grid: ScenarioGrid,
+    workers: Optional[int] = None,
+    lean: bool = False,
+    mode: str = "thread",
+) -> Dict[str, RunSummary]:
+    """Run a scenario grid; summaries are keyed by :attr:`Scenario.key`."""
+    if not isinstance(grid, ScenarioGrid):
+        grid = ScenarioGrid(grid)
+    summaries = runs(grid, workers=workers, lean=lean, mode=mode)
+    return {scenario.key: summary for scenario, summary in zip(grid, summaries)}
+
+
+def run_policies(
+    trace: Trace,
+    specs: Iterable[PolicySpec],
+    config=None,
+    workers: Optional[int] = None,
+    lean: bool = False,
+    mode: str = "thread",
+) -> Dict[str, RunSummary]:
+    """Run several policies on one trace with a shared static budget.
+
+    The static server budget is computed once from the trace (9-pool
+    peak accounting, as the paper provisions every baseline with the
+    same peak-capable cluster) and applied through a *copy* of the
+    config — the caller's ``ExperimentConfig`` is never mutated.
+    """
+    from repro.experiments.runner import ExperimentConfig, recommended_static_servers
+
+    config = config or ExperimentConfig()
+    if config.static_servers is None:
+        from repro.workload.classification import DEFAULT_SCHEME
+
+        profile = config.resolved_profile()
+        budget = recommended_static_servers(
+            trace, profile, config.scheme or DEFAULT_SCHEME
+        )
+        config = dataclasses.replace(config, static_servers=budget)
+    specs = list(specs)
+    scenarios = [
+        Scenario(policy=spec, trace=trace, base_config=config) for spec in specs
+    ]
+    summaries = runs(scenarios, workers=workers, lean=lean, mode=mode)
+    return {spec.name: summary for spec, summary in zip(specs, summaries)}

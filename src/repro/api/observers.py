@@ -1,0 +1,251 @@
+"""Typed simulation events and the pluggable observer protocol.
+
+The :class:`~repro.api.engine.SimulationEngine` emits one event object
+per occurrence to every attached :class:`Observer`:
+
+* :class:`RunStarted` — once, before the first step;
+* :class:`RequestRouted` — one per request, when it is handed to the policy;
+* :class:`EpochReconfigured` — after every controller epoch
+  ("scale", "shard" or "frequency");
+* :class:`StepCompleted` — once per simulation step, carrying the
+  cluster's :class:`~repro.cluster.cluster.StepStats` and the policy;
+* :class:`RunFinished` — once, after the loop exits.
+
+Observers are independent, composable metric collectors: the engine's
+default set reproduces exactly what the legacy monolithic runner
+recorded inline (energy, latency, power, server counts and the
+frequency/sharding timelines), and new collectors (carbon, cost,
+per-pool SLO attainment, ...) can be added without touching the engine.
+Each observer finally writes its results onto the shared
+:class:`~repro.metrics.summary.RunSummary` in :meth:`Observer.contribute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.latency import LatencyStats
+from repro.metrics.power import PowerTimeSeries
+from repro.metrics.summary import RunSummary
+from repro.workload.request import Request
+from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunStarted:
+    """Emitted once before the first simulation step."""
+
+    time: float
+    policy_name: str
+    trace_name: str
+    policy: Any  # the live DynamoLLM controller
+    config: Any  # the resolved ExperimentConfig
+
+
+@dataclass(frozen=True)
+class RequestRouted:
+    """Emitted when one trace request is handed to the policy's router."""
+
+    time: float
+    request: Request
+
+
+@dataclass(frozen=True)
+class EpochReconfigured:
+    """Emitted after a controller epoch ran (scale / shard / frequency)."""
+
+    time: float
+    kind: str
+
+
+@dataclass(frozen=True)
+class StepCompleted:
+    """Emitted after each simulation step with the cluster's step stats."""
+
+    time: float
+    dt: float
+    stats: Any  # repro.cluster.cluster.StepStats
+    policy: Any  # the live DynamoLLM controller
+
+
+@dataclass(frozen=True)
+class RunFinished:
+    """Emitted once after the simulation loop exits."""
+
+    time: float
+    cluster: Any  # the GPUCluster, for end-of-run totals
+
+
+# ----------------------------------------------------------------------
+# Observer protocol
+# ----------------------------------------------------------------------
+class Observer:
+    """Base class for pluggable metric collectors.
+
+    Subclasses override the ``on_*`` hooks they care about and
+    :meth:`contribute`, which writes the collected results onto the
+    :class:`~repro.metrics.summary.RunSummary` under construction.
+    """
+
+    #: Observers with ``summary_only = True`` are kept in ``lean`` runs;
+    #: the rest (timeline collectors etc.) are dropped to speed up sweeps.
+    summary_only: bool = False
+
+    def on_run_started(self, event: RunStarted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_request_routed(self, event: RequestRouted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_epoch_reconfigured(self, event: EpochReconfigured) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_step_completed(self, event: StepCompleted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_run_finished(self, event: RunFinished) -> None:  # pragma: no cover - hook
+        pass
+
+    def contribute(self, summary: RunSummary) -> None:  # pragma: no cover - hook
+        """Write this observer's results onto the run summary."""
+
+
+# ----------------------------------------------------------------------
+# Built-in observers (the legacy runner's inline accounting, split up)
+# ----------------------------------------------------------------------
+class EnergyObserver(Observer):
+    """Accumulates the cluster's per-step energy into an EnergyAccount."""
+
+    summary_only = True
+
+    def __init__(self) -> None:
+        self.account = EnergyAccount()
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.account.add_step(event.time, event.stats.energy_wh, event.stats.energy_by_type_wh)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.energy = self.account
+
+
+class LatencyObserver(Observer):
+    """Collects per-request outcomes into TTFT/TBT statistics."""
+
+    summary_only = True
+
+    def __init__(self, slo_policy: SLOPolicy = DEFAULT_SLO_POLICY) -> None:
+        self.stats = LatencyStats(slo_policy=slo_policy)
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.stats.extend(event.stats.outcomes)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.latency = self.stats
+
+
+class PowerObserver(Observer):
+    """Samples cluster power and online-GPU counts every step."""
+
+    summary_only = True
+
+    def __init__(self) -> None:
+        self.series = PowerTimeSeries()
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.series.add_step(event.time, event.stats.power_watts, event.stats.online_gpus)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.power = self.series
+
+
+class ServerCountObserver(Observer):
+    """Tracks the online-server count to report the run average."""
+
+    summary_only = True
+
+    def __init__(self) -> None:
+        self.samples: List[int] = []
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.samples.append(event.stats.online_servers)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.average_servers = (
+            sum(self.samples) / len(self.samples) if self.samples else 0.0
+        )
+
+
+class TimelineObserver(Observer):
+    """Records the frequency / sharding / pool-load timelines (Figures 9-10).
+
+    This is the most expensive built-in observer; ``lean=True`` runs drop
+    it, which measurably speeds up large sweeps that only need summary
+    metrics.
+    """
+
+    def __init__(self) -> None:
+        self.frequency_timeline: List[Tuple[float, float]] = []
+        self.pool_frequency_timeline: Dict[str, List[Tuple[float, float]]] = {}
+        self.gpus_by_tp_timeline: List[Tuple[float, Dict[int, int]]] = []
+        self.pool_gpus_by_tp_timeline: Dict[str, List[Tuple[float, Dict[int, int]]]] = {}
+        self.pool_load_timeline: Dict[str, List[Tuple[float, float]]] = {}
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        now, stats = event.time, event.stats
+        self.frequency_timeline.append((now, stats.average_frequency_mhz))
+        self.gpus_by_tp_timeline.append((now, dict(stats.gpus_by_tp)))
+        for pool, freq in stats.pool_frequency_mhz.items():
+            self.pool_frequency_timeline.setdefault(pool, []).append((now, freq))
+        for pool, tp_map in stats.pool_gpus_by_tp.items():
+            self.pool_gpus_by_tp_timeline.setdefault(pool, []).append((now, dict(tp_map)))
+        for pool, state in event.policy.cluster_manager.pools.items():
+            self.pool_load_timeline.setdefault(pool, []).append((now, state.load_ema_tps))
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.frequency_timeline = self.frequency_timeline
+        summary.pool_frequency_timeline = self.pool_frequency_timeline
+        summary.gpus_by_tp_timeline = self.gpus_by_tp_timeline
+        summary.pool_gpus_by_tp_timeline = self.pool_gpus_by_tp_timeline
+        summary.pool_load_timeline = self.pool_load_timeline
+
+
+class ReconfigurationObserver(Observer):
+    """Counts controller epochs by kind — a cheap example of a custom hook."""
+
+    summary_only = True
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.log: List[Tuple[float, str]] = []
+
+    def on_epoch_reconfigured(self, event: EpochReconfigured) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        self.log.append((event.time, event.kind))
+
+    def contribute(self, summary: RunSummary) -> None:
+        # RunSummary has no dedicated field; expose via attribute for callers.
+        summary.reconfiguration_counts = dict(self.counts)  # type: ignore[attr-defined]
+
+
+def default_observers(
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY, lean: bool = False
+) -> List[Observer]:
+    """The engine's default observer set.
+
+    The full set reproduces every field the legacy monolithic runner
+    populated; ``lean=True`` keeps only the summary observers.
+    """
+    observers: List[Observer] = [
+        EnergyObserver(),
+        LatencyObserver(slo_policy=slo_policy),
+        PowerObserver(),
+        ServerCountObserver(),
+    ]
+    if not lean:
+        observers.append(TimelineObserver())
+    return observers

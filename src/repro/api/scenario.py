@@ -1,0 +1,278 @@
+"""Immutable scenario descriptions and grid combinators.
+
+A :class:`Scenario` names everything one simulated run needs — the
+policy, a declarative :class:`TraceSpec` and the experiment-level knobs
+the paper sweeps (SLO scale, predictor accuracy, pool count, ...).
+Scenarios are immutable; derive variants with :meth:`Scenario.with_` /
+:meth:`Scenario.with_trace`, and expand cartesian products with
+:func:`sweep`, which returns a :class:`ScenarioGrid` whose members are
+addressable by their unique :attr:`Scenario.key`.
+
+Scenarios are *descriptions*: nothing is simulated until they are given
+to :func:`repro.api.executor.run_scenario` / :func:`~repro.api.executor.run_grid`
+or turned into a :class:`~repro.api.engine.SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.llm.catalog import ModelSpec, get_model
+from repro.policies.base import PolicySpec, get_policy_spec
+from repro.workload.slo import SLOPolicy
+from repro.workload.traces import Trace
+
+
+# ----------------------------------------------------------------------
+# Trace specification
+# ----------------------------------------------------------------------
+#: Request-level trace families the spec can materialise.
+TRACE_KINDS = ("one_hour", "poisson")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative recipe for a request-level trace.
+
+    ``kind="one_hour"`` builds the synthetic 1-hour service trace used
+    throughout Section V-B; ``kind="poisson"`` builds the constant-rate
+    Poisson traces of the load-level sensitivity study (Figure 12).
+    """
+
+    kind: str = "one_hour"
+    service: str = "conversation"
+    rate_scale: float = 10.0
+    duration_s: Optional[float] = None
+    seed: int = 7
+    level: str = "medium"  # Poisson load level (low / medium / high)
+    load_multiplier: float = 6.0  # scales Poisson levels up to cluster size
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace kind {self.kind!r}; known kinds: {', '.join(TRACE_KINDS)}"
+            )
+
+    def build(self) -> Trace:
+        """Materialise the described trace."""
+        if self.kind == "one_hour":
+            from repro.workload.synthetic import make_one_hour_trace
+
+            trace = make_one_hour_trace(
+                self.service, seed=self.seed, rate_scale=self.rate_scale
+            )
+            if self.duration_s is not None and self.duration_s < trace.duration:
+                trace = trace.slice(0.0, self.duration_s)
+            return trace
+        # kind == "poisson"
+        from repro.workload.arrival import PoissonArrivalGenerator, get_load_level
+
+        level = get_load_level(self.level)
+        scaled = type(level)(
+            level.name, level.prompt_tokens_per_second * self.load_multiplier
+        )
+        generator = PoissonArrivalGenerator(seed=self.seed)
+        return generator.generate(scaled, self.duration_s or 1800.0)
+
+    @property
+    def key(self) -> str:
+        """Compact unique identifier for grid/result addressing."""
+        if self.kind == "one_hour":
+            parts = [self.service, f"x{self.rate_scale:g}", f"s{self.seed}"]
+        else:
+            parts = [self.level, f"m{self.load_multiplier:g}", f"s{self.seed}"]
+        if self.duration_s is not None:
+            parts.append(f"{self.duration_s:g}s")
+        return f"{self.kind}({','.join(parts)})"
+
+    def with_(self, **changes) -> "TraceSpec":
+        """A copy of this spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One immutable, fully-described simulation run.
+
+    Only the dimensions that differ from the experiment defaults need to
+    be set; ``None`` means "inherit from ``base_config``".  The optional
+    ``base_config`` carries everything else (profile, epochs, drain
+    timeout, ...) and is shared, not copied, across grid members.
+    """
+
+    policy: Union[str, PolicySpec] = "DynamoLLM"
+    trace: Union[TraceSpec, Trace] = TraceSpec()
+    slo_scale: Optional[float] = None
+    predictor_accuracy: Optional[float] = None
+    pool_count: Optional[int] = None
+    static_servers: Optional[int] = None
+    max_servers: Optional[int] = None
+    time_step_s: Optional[float] = None
+    model: Optional[Union[str, ModelSpec]] = None
+    label: Optional[str] = None
+    base_config: Optional[object] = None  # ExperimentConfig
+
+    # ------------------------------------------------------------------
+    def policy_spec(self) -> PolicySpec:
+        if isinstance(self.policy, PolicySpec):
+            return self.policy
+        return get_policy_spec(self.policy)
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name if isinstance(self.policy, PolicySpec) else self.policy
+
+    def build_trace(self) -> Trace:
+        """The trace to serve: built from the spec, or passed through."""
+        return self.trace if isinstance(self.trace, Trace) else self.trace.build()
+
+    @property
+    def trace_key(self) -> str:
+        return self.trace.name if isinstance(self.trace, Trace) else self.trace.key
+
+    def model_spec(self) -> Optional[ModelSpec]:
+        if self.model is None or isinstance(self.model, ModelSpec):
+            return self.model
+        return get_model(self.model)
+
+    def resolved_config(self):
+        """The ExperimentConfig for this run: base config + overrides."""
+        from repro.experiments.runner import ExperimentConfig
+
+        base = self.base_config or ExperimentConfig()
+        changes: Dict[str, object] = {}
+        if self.model is not None:
+            changes["model"] = self.model_spec()
+            if base.profile is not None:
+                changes["profile"] = None  # base profile is for another model
+        if self.slo_scale is not None:
+            changes["slo_policy"] = SLOPolicy(scale=self.slo_scale)
+        if self.predictor_accuracy is not None:
+            changes["predictor_accuracy"] = self.predictor_accuracy
+        if self.pool_count is not None:
+            from repro.workload.classification import scheme_for_pool_count
+
+            changes["scheme"] = scheme_for_pool_count(self.pool_count)
+        if self.static_servers is not None:
+            changes["static_servers"] = self.static_servers
+        if self.max_servers is not None:
+            changes["max_servers"] = self.max_servers
+        if self.time_step_s is not None:
+            changes["time_step_s"] = self.time_step_s
+        return dataclasses.replace(base, **changes) if changes else base
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Unique, human-readable identifier within a grid."""
+        parts = [self.policy_name, self.trace_key]
+        if self.model is not None:
+            model = self.model_spec()
+            parts.append(model.name if model is not None else str(self.model))
+        if self.slo_scale is not None:
+            parts.append(f"slo{self.slo_scale:g}")
+        if self.predictor_accuracy is not None:
+            parts.append(f"acc{self.predictor_accuracy:g}")
+        if self.pool_count is not None:
+            parts.append(f"pools{self.pool_count}")
+        if self.label:
+            parts.append(self.label)
+        return "/".join(parts)
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy of this scenario with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def with_trace(self, **changes) -> "Scenario":
+        """A copy with fields of the *trace spec* replaced."""
+        if isinstance(self.trace, Trace):
+            raise TypeError(
+                "with_trace() needs a TraceSpec; this scenario carries a "
+                "concrete Trace — replace it with .with_(trace=...)"
+            )
+        return dataclasses.replace(self, trace=self.trace.with_(**changes))
+
+
+# ----------------------------------------------------------------------
+# Grid
+# ----------------------------------------------------------------------
+class ScenarioGrid:
+    """An ordered collection of scenarios with unique keys."""
+
+    def __init__(self, scenarios: Iterable[Scenario]) -> None:
+        self.scenarios: Tuple[Scenario, ...] = tuple(scenarios)
+        seen: Dict[str, Scenario] = {}
+        for scenario in self.scenarios:
+            if scenario.key in seen:
+                raise ValueError(
+                    f"duplicate scenario key {scenario.key!r}; "
+                    "disambiguate with Scenario.label"
+                )
+            seen[scenario.key] = scenario
+        self._by_key = seen
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __getitem__(self, item: Union[int, str]) -> Scenario:
+        if isinstance(item, str):
+            return self._by_key[item]
+        return self.scenarios[item]
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(s.key for s in self.scenarios)
+
+    def filter(self, predicate: Callable[[Scenario], bool]) -> "ScenarioGrid":
+        return ScenarioGrid(s for s in self.scenarios if predicate(s))
+
+    def with_(self, **changes) -> "ScenarioGrid":
+        """Apply the same field replacement to every member."""
+        return ScenarioGrid(s.with_(**changes) for s in self.scenarios)
+
+    def __add__(self, other: "ScenarioGrid") -> "ScenarioGrid":
+        return ScenarioGrid(tuple(self.scenarios) + tuple(other.scenarios))
+
+    def __repr__(self) -> str:
+        return f"ScenarioGrid({len(self)} scenarios)"
+
+
+def sweep(
+    policies: Sequence[Union[str, PolicySpec]] = ("DynamoLLM",),
+    traces: Sequence[Union[TraceSpec, Trace]] = (TraceSpec(),),
+    slo_scales: Sequence[Optional[float]] = (None,),
+    accuracies: Sequence[Optional[float]] = (None,),
+    pool_counts: Sequence[Optional[int]] = (None,),
+    models: Sequence[Optional[Union[str, ModelSpec]]] = (None,),
+    base_config=None,
+) -> ScenarioGrid:
+    """Cartesian product over the paper's sweep dimensions.
+
+    Every combination of policy x trace x SLO scale x predictor accuracy
+    x pool count x model becomes one :class:`Scenario`.  Dimensions left
+    at their defaults contribute a single ``None`` (inherit) entry and do
+    not appear in the scenario keys.
+    """
+    scenarios = [
+        Scenario(
+            policy=policy,
+            trace=trace,
+            slo_scale=slo_scale,
+            predictor_accuracy=accuracy,
+            pool_count=pool_count,
+            model=model,
+            base_config=base_config,
+        )
+        for policy, trace, slo_scale, accuracy, pool_count, model in itertools.product(
+            policies, traces, slo_scales, accuracies, pool_counts, models
+        )
+    ]
+    return ScenarioGrid(scenarios)

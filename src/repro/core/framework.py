@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.cluster import GPUCluster
 from repro.cluster.instance import InferenceInstance
@@ -145,6 +145,10 @@ class DynamoLLM:
             "frequency", epochs.frequency_epoch_s, self._frequency_tick, offset=epochs.frequency_epoch_s
         )
         self._routed_requests = 0
+        #: Observer hook: called as ``listener(kind, now)`` after every
+        #: controller epoch ("scale", "shard" or "frequency").  Set by the
+        #: simulation engine to emit ``EpochReconfigured`` events.
+        self.epoch_listener: Optional[Callable[[str, float], None]] = None
 
     # ------------------------------------------------------------------
     # Initial provisioning
@@ -237,8 +241,13 @@ class DynamoLLM:
         self.cluster_manager.roll_load_window(now, dt)
         self._scheduler.tick(now)
 
+    def _notify_epoch(self, kind: str, now: float) -> None:
+        if self.epoch_listener is not None:
+            self.epoch_listener(kind, now)
+
     def _scale_tick(self, now: float) -> None:
         self.cluster_manager.scale_epoch(now)
+        self._notify_epoch("scale", now)
 
     def _shard_tick(self, now: float) -> None:
         # Reactive scale-out: when a pool is saturated (e.g. after a load
@@ -250,10 +259,12 @@ class DynamoLLM:
             self.cluster_manager.scale_epoch(now)
         for pool_manager in self.pool_managers.values():
             pool_manager.shard_epoch(now)
+        self._notify_epoch("shard", now)
 
     def _frequency_tick(self, now: float) -> None:
         for instance_manager in self.instance_managers.values():
             instance_manager.frequency_epoch(now)
+        self._notify_epoch("frequency", now)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -2,14 +2,17 @@
 
 All five figures come from the same experiment: the six systems serving
 the 1-hour trace on a peak-provisioned cluster.  ``run_cluster_evaluation``
-runs it once and the per-figure extractors shape the results.
+runs it once — via :func:`repro.api.run_policies`, optionally in
+parallel across the six systems — and the per-figure extractors shape
+the results.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentConfig, run_all_policies
+from repro.api.executor import run_policies
+from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import RunSummary, compare_energy
 from repro.policies import ALL_POLICIES
 from repro.workload.synthetic import make_one_hour_trace
@@ -33,11 +36,17 @@ def run_cluster_evaluation(
     trace: Optional[Trace] = None,
     config: Optional[ExperimentConfig] = None,
     policies=ALL_POLICIES,
+    workers: Optional[int] = None,
 ) -> Dict[str, RunSummary]:
-    """Run the six systems over the 1-hour trace (Figures 6-10)."""
+    """Run the six systems over the 1-hour trace (Figures 6-10).
+
+    ``workers`` > 1 runs the systems concurrently; every system still
+    gets the same peak-sized static budget and produces summaries
+    identical to a serial run.
+    """
     trace = trace if trace is not None else one_hour_trace()
     config = config or ExperimentConfig()
-    return run_all_policies(trace, policies, config)
+    return run_policies(trace, policies, config, workers=workers)
 
 
 # ----------------------------------------------------------------------

@@ -1,33 +1,33 @@
-"""Detailed (request-level) experiment runner.
+"""Experiment configuration, capacity planning and legacy runner shims.
 
-Runs one policy over one request-level trace on the discrete-time
-cluster simulator and returns a :class:`~repro.metrics.summary.RunSummary`.
-This is the engine behind the cluster-level evaluation (Figures 6-10)
-and the sensitivity studies (Figures 11-13).
+The request-level simulation loop that used to live here is now the
+:class:`repro.api.engine.SimulationEngine`; this module keeps
+
+* :class:`ExperimentConfig` — the configuration of one detailed run,
+* the capacity-planning helpers (static-budget sizing from a trace),
+* thin deprecation shims (:func:`run_policy_on_trace`,
+  :func:`run_all_policies`) that forward to the new engine so existing
+  drivers keep working unchanged.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
-from repro.cluster.cluster import GPUCluster
 from repro.core.framework import ControllerEpochs
 from repro.llm.catalog import ModelSpec, LLAMA2_70B
-from repro.metrics.energy import EnergyAccount
-from repro.metrics.latency import LatencyStats
-from repro.metrics.power import PowerTimeSeries
 from repro.metrics.summary import RunSummary
 from repro.perf.profile import EnergyPerformanceProfile
 from repro.perf.profiler import get_default_profile
-from repro.policies.base import PolicySpec, build_policy
+from repro.policies.base import PolicySpec
 from repro.workload.classification import (
     ClassificationScheme,
     RequestType,
     classify_request,
 )
-from repro.workload.predictor import OutputLengthPredictor
 from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
 from repro.workload.traces import Trace, bin_trace
 
@@ -114,143 +114,68 @@ def recommended_static_servers(
     return max(1, total)
 
 
+def resolve_static_servers(
+    config: ExperimentConfig, trace: Trace, profile: EnergyPerformanceProfile
+) -> int:
+    """The static server budget for one run, without mutating the config.
+
+    When the config does not pin a budget, size it from per-bucket peaks
+    (9-pool accounting) regardless of the policy's own pooling, exactly
+    as the paper gives every baseline the same peak-capable cluster.
+    """
+    if config.static_servers is not None:
+        return config.static_servers
+    from repro.workload.classification import DEFAULT_SCHEME
+
+    return recommended_static_servers(trace, profile, DEFAULT_SCHEME)
+
+
 # ----------------------------------------------------------------------
-# Main runner
+# Legacy runner shims (deprecated: use repro.api instead)
 # ----------------------------------------------------------------------
 def run_policy_on_trace(
     spec: PolicySpec,
     trace: Trace,
     config: Optional[ExperimentConfig] = None,
 ) -> RunSummary:
-    """Simulate ``spec`` serving ``trace`` and return the run summary."""
-    config = config or ExperimentConfig()
-    profile = config.resolved_profile()
-    scheme = spec.scheme(config.scheme)
+    """Simulate ``spec`` serving ``trace`` and return the run summary.
 
-    static_servers = config.static_servers
-    if static_servers is None:
-        # Size the static budget from per-bucket peaks (9-pool accounting)
-        # regardless of the policy's own pooling, exactly as the paper gives
-        # every baseline the same peak-capable cluster.
-        from repro.workload.classification import DEFAULT_SCHEME
-
-        static_servers = recommended_static_servers(trace, profile, DEFAULT_SCHEME)
-    max_servers = max(config.max_servers, static_servers)
-
-    cluster = GPUCluster(
-        model=config.model,
-        initial_servers=0,
-        max_servers=max_servers,
-        proactive_provisioning=spec.proactive_provisioning,
-        optimized_frequency_switching=spec.optimized_frequency_switching,
+    .. deprecated::
+        Use :class:`repro.api.SimulationEngine` (or
+        :func:`repro.api.run_scenario`) instead.  This shim constructs
+        the engine with the default observer set, which reproduces the
+        legacy monolithic loop field-for-field.
+    """
+    warnings.warn(
+        "run_policy_on_trace is deprecated; use repro.api.SimulationEngine "
+        "or repro.api.run_scenario",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    predictor = OutputLengthPredictor(
-        accuracy=config.predictor_accuracy, seed=config.predictor_seed
-    )
-    fractions = load_fractions_from_trace(trace, scheme)
-    policy = build_policy(
-        spec,
-        model=config.model,
-        cluster=cluster,
-        profile=profile,
-        static_servers=static_servers,
-        expected_load_fractions=fractions,
-        slo_policy=config.slo_policy,
-        predictor=predictor,
-        scheme=config.scheme,
-        epochs=config.epochs,
-    )
-    warm_loads = pool_loads_from_trace(trace, scheme)
-    policy.setup(0.0, warm_loads=warm_loads)
+    from repro.api.engine import SimulationEngine
 
-    energy = EnergyAccount()
-    latency = LatencyStats(slo_policy=config.slo_policy)
-    power = PowerTimeSeries()
-    frequency_timeline: List = []
-    pool_frequency_timeline: Dict[str, List] = {}
-    gpus_by_tp_timeline: List = []
-    pool_gpus_by_tp_timeline: Dict[str, List] = {}
-    pool_load_timeline: Dict[str, List] = {}
-    server_samples: List[int] = []
-
-    requests = list(trace.requests)
-    request_index = 0
-    dt = config.time_step_s
-    horizon = trace.duration + dt
-    now = 0.0
-    drain_deadline = horizon + config.drain_timeout_s
-
-    while now < drain_deadline:
-        # Deliver arrivals for this step.
-        while (
-            request_index < len(requests)
-            and requests[request_index].arrival_time < now + dt
-        ):
-            policy.route(requests[request_index], now)
-            request_index += 1
-
-        policy.on_step(now, dt)
-        stats = cluster.step(now, dt)
-
-        energy.add_step(now, stats.energy_wh, stats.energy_by_type_wh)
-        power.add_step(now, stats.power_watts, stats.online_gpus)
-        latency.extend(stats.outcomes)
-        frequency_timeline.append((now, stats.average_frequency_mhz))
-        gpus_by_tp_timeline.append((now, dict(stats.gpus_by_tp)))
-        for pool, freq in stats.pool_frequency_mhz.items():
-            pool_frequency_timeline.setdefault(pool, []).append((now, freq))
-        for pool, tp_map in stats.pool_gpus_by_tp.items():
-            pool_gpus_by_tp_timeline.setdefault(pool, []).append((now, dict(tp_map)))
-        for pool, state in policy.cluster_manager.pools.items():
-            pool_load_timeline.setdefault(pool, []).append((now, state.load_ema_tps))
-        server_samples.append(stats.online_servers)
-
-        now += dt
-        if now >= horizon and request_index >= len(requests):
-            in_flight = sum(i.active_requests for i in cluster.instances.values())
-            if in_flight == 0:
-                break
-
-    average_servers = sum(server_samples) / len(server_samples) if server_samples else 0.0
-    return RunSummary(
-        policy=spec.name,
-        trace=trace.name,
-        duration_s=now,
-        energy=energy,
-        latency=latency,
-        power=power,
-        gpu_hours=cluster.gpu_hours,
-        average_servers=average_servers,
-        frequency_timeline=frequency_timeline,
-        pool_frequency_timeline=pool_frequency_timeline,
-        gpus_by_tp_timeline=gpus_by_tp_timeline,
-        pool_gpus_by_tp_timeline=pool_gpus_by_tp_timeline,
-        pool_load_timeline=pool_load_timeline,
-        squashed_requests=policy.total_squashed(),
-        routed_requests=policy.routed_requests,
-    )
+    return SimulationEngine(spec, trace, config).run()
 
 
 def run_all_policies(
     trace: Trace,
     specs: Iterable[PolicySpec],
     config: Optional[ExperimentConfig] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, RunSummary]:
     """Run several policies on the same trace with a shared configuration.
 
-    The static server budget is computed once (from the MultiPool-style
-    per-pool peaks) and reused for every policy, matching the paper's
-    setup where all baselines get the same peak-sized cluster.
+    .. deprecated::
+        Use :func:`repro.api.run_policies` instead (same semantics plus
+        parallel execution).  Unlike the original implementation, the
+        shared static budget is resolved into a *copy* of the config —
+        the caller's ``ExperimentConfig`` is no longer mutated.
     """
-    config = config or ExperimentConfig()
-    if config.static_servers is None:
-        profile = config.resolved_profile()
-        from repro.workload.classification import DEFAULT_SCHEME
+    warnings.warn(
+        "run_all_policies is deprecated; use repro.api.run_policies",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.executor import run_policies
 
-        config.static_servers = recommended_static_servers(
-            trace, profile, config.scheme or DEFAULT_SCHEME
-        )
-    summaries: Dict[str, RunSummary] = {}
-    for spec in specs:
-        summaries[spec.name] = run_policy_on_trace(spec, trace, config)
-    return summaries
+    return run_policies(trace, specs, config, workers=workers)

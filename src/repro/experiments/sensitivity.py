@@ -1,14 +1,21 @@
-"""Sensitivity studies: Figures 11, 12 and 13 (Section V-C)."""
+"""Sensitivity studies: Figures 11, 12 and 13 (Section V-C).
+
+All three figures are scenario sweeps on the unified :mod:`repro.api`
+layer: one dimension varies (predictor accuracy, Poisson load level,
+pool count), everything else is inherited from a shared base config.
+Each driver accepts ``workers`` to run its sweep in parallel; results
+are identical to a serial run.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import ExperimentConfig, run_all_policies, run_policy_on_trace
+from repro.api.executor import run_policies, run_scenario, runs
+from repro.api.scenario import Scenario, TraceSpec
+from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import RunSummary
 from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
-from repro.workload.arrival import LOAD_LEVELS, PoissonArrivalGenerator, get_load_level
-from repro.workload.classification import scheme_for_pool_count
 from repro.workload.synthetic import make_one_hour_trace
 from repro.workload.traces import Trace
 
@@ -20,10 +27,20 @@ def _default_trace(rate_scale: float = 15.0, duration_s: Optional[float] = 1800.
     return trace
 
 
+def _headline_metrics(summary: RunSummary) -> Dict[str, float]:
+    return {
+        "energy_kwh": summary.energy_kwh,
+        "p99_ttft_s": summary.latency.ttft_percentile(99),
+        "mean_ttft_s": summary.latency.mean_ttft(),
+        "slo_attainment": summary.slo_attainment(),
+    }
+
+
 def figure11_predictor_accuracy(
     accuracies: Sequence[float] = (1.0, 0.9, 0.8, 0.6, 0.5),
     trace: Optional[Trace] = None,
     config: Optional[ExperimentConfig] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 11: energy and TTFT vs output-length predictor accuracy.
 
@@ -32,34 +49,20 @@ def figure11_predictor_accuracy(
     """
     trace = trace if trace is not None else _default_trace()
     base_config = config or ExperimentConfig()
-    results: Dict[str, Dict[str, float]] = {}
-
-    baseline = run_policy_on_trace(SINGLE_POOL, trace, base_config)
-    results["SinglePool"] = {
-        "energy_kwh": baseline.energy_kwh,
-        "p99_ttft_s": baseline.latency.ttft_percentile(99),
-        "mean_ttft_s": baseline.latency.mean_ttft(),
-        "slo_attainment": baseline.slo_attainment(),
-    }
-    for accuracy in accuracies:
-        run_config = ExperimentConfig(
-            model=base_config.model,
-            time_step_s=base_config.time_step_s,
-            static_servers=base_config.static_servers,
-            max_servers=base_config.max_servers,
+    scenarios = [Scenario(policy=SINGLE_POOL, trace=trace, base_config=base_config)]
+    scenarios += [
+        Scenario(
+            policy=DYNAMO_LLM,
+            trace=trace,
             predictor_accuracy=accuracy,
-            slo_policy=base_config.slo_policy,
-            scheme=base_config.scheme,
-            epochs=base_config.epochs,
-            profile=base_config.profile,
+            base_config=base_config,
         )
-        summary = run_policy_on_trace(DYNAMO_LLM, trace, run_config)
-        results[f"Dyn-{int(accuracy * 100)}%"] = {
-            "energy_kwh": summary.energy_kwh,
-            "p99_ttft_s": summary.latency.ttft_percentile(99),
-            "mean_ttft_s": summary.latency.mean_ttft(),
-            "slo_attainment": summary.slo_attainment(),
-        }
+        for accuracy in accuracies
+    ]
+    summaries = runs(scenarios, workers=workers, lean=True)
+    results: Dict[str, Dict[str, float]] = {"SinglePool": _headline_metrics(summaries[0])}
+    for accuracy, summary in zip(accuracies, summaries[1:]):
+        results[f"Dyn-{int(accuracy * 100)}%"] = _headline_metrics(summary)
     return results
 
 
@@ -69,6 +72,7 @@ def figure12_load_levels(
     config: Optional[ExperimentConfig] = None,
     policies=ALL_POLICIES,
     load_multiplier: float = 6.0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 12: energy of the six systems under Poisson load levels.
 
@@ -77,11 +81,16 @@ def figure12_load_levels(
     """
     results: Dict[str, Dict[str, float]] = {}
     for level_name in levels:
-        level = get_load_level(level_name)
-        generator = PoissonArrivalGenerator(seed=11)
-        scaled = type(level)(level.name, level.prompt_tokens_per_second * load_multiplier)
-        trace = generator.generate(scaled, duration_s)
-        summaries = run_all_policies(trace, policies, config or ExperimentConfig())
+        spec = TraceSpec(
+            kind="poisson",
+            level=level_name,
+            load_multiplier=load_multiplier,
+            duration_s=duration_s,
+            seed=11,
+        )
+        summaries = run_policies(
+            spec.build(), policies, config or ExperimentConfig(), workers=workers, lean=True
+        )
         results[level_name] = {name: s.energy_kwh for name, s in summaries.items()}
     return results
 
@@ -90,32 +99,22 @@ def figure13_pool_count(
     pool_counts: Sequence[int] = (2, 4, 6, 9),
     trace: Optional[Trace] = None,
     config: Optional[ExperimentConfig] = None,
+    workers: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 13: energy and TTFT of DynamoLLM vs the number of pools."""
     trace = trace if trace is not None else _default_trace()
     base_config = config or ExperimentConfig()
-    results: Dict[int, Dict[str, float]] = {}
-    for count in pool_counts:
-        scheme = scheme_for_pool_count(count)
-        run_config = ExperimentConfig(
-            model=base_config.model,
-            time_step_s=base_config.time_step_s,
-            static_servers=base_config.static_servers,
-            max_servers=base_config.max_servers,
-            predictor_accuracy=base_config.predictor_accuracy,
-            slo_policy=base_config.slo_policy,
-            scheme=scheme,
-            epochs=base_config.epochs,
-            profile=base_config.profile,
+    scenarios = [
+        Scenario(
+            policy=DYNAMO_LLM, trace=trace, pool_count=count, base_config=base_config
         )
-        summary = run_policy_on_trace(DYNAMO_LLM, trace, run_config)
-        results[count] = {
-            "energy_kwh": summary.energy_kwh,
-            "p99_ttft_s": summary.latency.ttft_percentile(99),
-            "mean_ttft_s": summary.latency.mean_ttft(),
-            "slo_attainment": summary.slo_attainment(),
-        }
-    return results
+        for count in pool_counts
+    ]
+    summaries = runs(scenarios, workers=workers, lean=True)
+    return {
+        count: _headline_metrics(summary)
+        for count, summary in zip(pool_counts, summaries)
+    }
 
 
 def compare_levels(results: Dict[str, Dict[str, float]], baseline: str = "SinglePool") -> Dict[str, Dict[str, float]]:
