@@ -8,9 +8,9 @@ fragmentation handling.
 
 from __future__ import annotations
 
+from repro.api import SimulationEngine
 from repro.core.optimizer import plan_global, plan_sharding
 from repro.core.resharding import CANONICAL_LAYOUTS, plan_reshard
-from repro.experiments.runner import run_policy_on_trace
 from repro.policies import DYNAMO_LLM
 from repro.policies.base import PolicySpec
 
@@ -84,8 +84,8 @@ def test_fragmentation_handling_ablation(benchmark, bench_trace, bench_config):
     trace = bench_trace.slice(0.0, 600.0)
 
     def run():
-        with_fragmentation = run_policy_on_trace(DYNAMO_LLM, trace, bench_config)
-        without_fragmentation = run_policy_on_trace(no_fragmentation, trace, bench_config)
+        with_fragmentation = SimulationEngine(DYNAMO_LLM, trace, bench_config).run()
+        without_fragmentation = SimulationEngine(no_fragmentation, trace, bench_config).run()
         return with_fragmentation, without_fragmentation
 
     with_frag, without_frag = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -16,14 +16,14 @@ from repro.experiments.cluster_eval import (
     figure10_sharding_timeline,
     normalized_energy,
 )
-from repro.experiments.runner import run_all_policies
+from repro.api import run_policies
 from repro.policies import ALL_POLICIES
 
 
 @pytest.fixture(scope="module")
 def summaries(bench_trace, bench_config):
     """Shared six-system run (computed once per benchmark session)."""
-    return run_all_policies(bench_trace, ALL_POLICIES, bench_config)
+    return run_policies(bench_trace, ALL_POLICIES, bench_config)
 
 
 def test_figure6_energy_by_system(benchmark, bench_trace, bench_config, summaries):

@@ -9,7 +9,9 @@ to the full/serial runs.
 
 from __future__ import annotations
 
-from repro.api.executor import run_grid, run_scenario
+import pickle
+
+from repro.api.executor import run_grid, run_scenario, runs
 
 
 def _engine_run(scenario, lean):
@@ -44,6 +46,34 @@ def test_sweep_serial(benchmark, bench_grid):
         run_grid, args=(bench_grid,), kwargs={"lean": True}, rounds=1, iterations=1
     )
     assert len(results) == len(bench_grid)
+
+
+def test_lean_transfer_payload_regression(bench_scenario):
+    """Lean sweep results must stay cheap to pickle (process-pool transfer).
+
+    ``run_grid(mode="process")`` sends every RunSummary back through a
+    pipe; before compaction the per-request outcome objects dominated
+    short scenarios.  Guard both the relative win over a full summary
+    and an absolute per-request byte budget, and check the compact
+    summary still answers every headline query identically.
+    """
+    full = run_scenario(bench_scenario, lean=False)
+    (lean,) = runs([bench_scenario], lean=True)
+
+    full_bytes = len(pickle.dumps(full))
+    lean_bytes = len(pickle.dumps(lean))
+    requests = full.latency.count
+    assert lean_bytes < full_bytes / 4, (lean_bytes, full_bytes)
+    assert lean_bytes / max(1, requests) < 64.0, (lean_bytes, requests)
+
+    assert lean.energy_kwh == full.energy_kwh
+    assert lean.latency.count == full.latency.count
+    assert lean.latency.ttft_percentile(99) == full.latency.ttft_percentile(99)
+    assert lean.latency.tbt_percentile(50) == full.latency.tbt_percentile(50)
+    assert lean.slo_attainment() == full.slo_attainment()
+    assert lean.power.mean_cluster_power() == full.power.mean_cluster_power()
+    assert lean.carbon.total_kg == full.carbon.total_kg
+    assert lean.cost.total_usd == full.cost.total_usd
 
 
 def test_sweep_parallel(benchmark, bench_grid):

@@ -35,9 +35,21 @@ def _names(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
-def _trace_spec(args):
+def _trace_spec(args, path: Optional[str] = None):
     from repro.api import TraceSpec
 
+    path = path or getattr(args, "trace_file", None)
+    if path or args.trace in ("csv", "azure"):
+        if not path:
+            raise ValueError(f"--trace {args.trace} requires --trace-file PATH")
+        kind = args.trace if args.trace in ("csv", "azure") else "csv"
+        return TraceSpec(
+            kind=kind,
+            path=path,
+            service=args.service,
+            duration_s=args.duration,
+            resample=args.resample,
+        )
     if args.trace == "one_hour":
         return TraceSpec(
             kind="one_hour",
@@ -57,6 +69,10 @@ def _trace_spec(args):
 
 def _headline_row(key: str, summary) -> dict:
     table = summary.latency.percentile_table()
+    # Prefer the streaming collectors; fall back to post-hoc accounting
+    # for summaries produced without the default observer set.
+    carbon_kg = summary.carbon.total_kg if summary.carbon is not None else summary.carbon_kg()
+    cost_usd = summary.cost.total_usd if summary.cost is not None else summary.cost_usd()
     return {
         "scenario": key,
         "energy_kwh": summary.energy_kwh,
@@ -66,13 +82,17 @@ def _headline_row(key: str, summary) -> dict:
         "p99_tbt_s": table["tbt_s"][99],
         "slo_attainment": summary.slo_attainment(),
         "requests": summary.latency.count,
+        "carbon_kg": carbon_kg,
+        "cost_usd": cost_usd,
+        "pool_slo_attainment": summary.pool_slo_attainment,
     }
 
 
 def _print_rows(rows: Sequence[dict]) -> None:
     header = (
         f"{'scenario':48s} {'kWh':>9s} {'srv':>6s} {'P50 TTFT':>9s} "
-        f"{'P99 TTFT':>9s} {'P99 TBT':>8s} {'SLO':>6s} {'reqs':>7s}"
+        f"{'P99 TTFT':>9s} {'P99 TBT':>8s} {'SLO':>6s} {'reqs':>7s} "
+        f"{'kgCO2':>8s} {'USD':>9s}"
     )
     print(header)
     print("-" * len(header))
@@ -80,7 +100,8 @@ def _print_rows(rows: Sequence[dict]) -> None:
         print(
             f"{row['scenario']:48s} {row['energy_kwh']:9.3f} {row['avg_servers']:6.1f} "
             f"{row['p50_ttft_s']:9.3f} {row['p99_ttft_s']:9.3f} {row['p99_tbt_s']:8.3f} "
-            f"{row['slo_attainment']:6.3f} {row['requests']:7d}"
+            f"{row['slo_attainment']:6.3f} {row['requests']:7d} "
+            f"{row['carbon_kg']:8.3f} {row['cost_usd']:9.2f}"
         )
 
 
@@ -98,6 +119,7 @@ def cmd_run(args) -> int:
         pool_count=args.pools,
         static_servers=args.static_servers,
         max_servers=args.max_servers,
+        model=args.model,
     )
     started = time.perf_counter()
     summary = run_scenario(scenario, lean=args.lean)
@@ -117,12 +139,17 @@ def cmd_sweep(args) -> int:
     policies = _names(args.policies)
     if not policies:
         raise ValueError("--policies must name at least one policy")
+    if args.traces:
+        traces = tuple(_trace_spec(args, path=path) for path in _names(args.traces))
+    else:
+        traces = (_trace_spec(args),)
     grid = sweep(
         policies=policies,
-        traces=(_trace_spec(args),),
+        traces=traces,
         slo_scales=_floats(args.slo_scales) if args.slo_scales else (None,),
         accuracies=_floats(args.accuracies) if args.accuracies else (None,),
         pool_counts=_ints(args.pool_counts) if args.pool_counts else (None,),
+        models=tuple(_names(args.models)) if args.models else (None,),
     )
     print(f"running {len(grid)} scenarios (workers={args.workers}) ...", file=sys.stderr)
     started = time.perf_counter()
@@ -186,9 +213,13 @@ def cmd_bench(args) -> int:
 # ----------------------------------------------------------------------
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--trace", default="one_hour", choices=("one_hour", "poisson"),
-        help="trace family to simulate",
+        "--trace", default="one_hour", choices=("one_hour", "poisson", "csv", "azure"),
+        help="trace family: synthetic (one_hour/poisson) or file replay (csv/azure)",
     )
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="trace file to replay (implies --trace csv unless azure)")
+    parser.add_argument("--resample", type=float, default=1.0,
+                        help="burst-preserving rate factor for replayed traces")
     parser.add_argument("--service", default="conversation", choices=("conversation", "coding"))
     parser.add_argument("--duration", type=float, default=None, help="trace length in seconds")
     parser.add_argument("--rate-scale", type=float, default=10.0, help="load scale factor")
@@ -215,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--pools", type=int, default=None, help="pool-count override")
     run_parser.add_argument("--static-servers", type=int, default=None)
     run_parser.add_argument("--max-servers", type=int, default=None)
+    run_parser.add_argument("--model", default=None,
+                            help="model name from the catalog (see repro.llm)")
     run_parser.add_argument("--lean", action="store_true", help="skip timeline observers")
     run_parser.add_argument("--json", action="store_true")
     run_parser.set_defaults(func=cmd_run)
@@ -225,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names",
     )
     _add_trace_arguments(sweep_parser)
+    sweep_parser.add_argument("--traces", default=None, metavar="PATHS",
+                              help="comma-separated trace files to replay (one grid "
+                                   "dimension; --trace picks csv vs azure parsing)")
+    sweep_parser.add_argument("--models", default=None,
+                              help="comma-separated catalog model names (grid dimension)")
     sweep_parser.add_argument("--slo-scales", default=None, help="comma-separated, e.g. 1,2,4")
     sweep_parser.add_argument("--accuracies", default=None, help="comma-separated, e.g. 1.0,0.8")
     sweep_parser.add_argument("--pool-counts", default=None, help="comma-separated, e.g. 2,4,9")

@@ -27,6 +27,8 @@ Quickstart::
 from repro.api.engine import SimulationEngine
 from repro.api.executor import run_grid, run_policies, run_scenario, runs
 from repro.api.observers import (
+    CarbonObserver,
+    CostObserver,
     EnergyObserver,
     EpochReconfigured,
     LatencyObserver,
@@ -37,6 +39,7 @@ from repro.api.observers import (
     RunFinished,
     RunStarted,
     ServerCountObserver,
+    SLOAttainmentObserver,
     StepCompleted,
     TimelineObserver,
     default_observers,
@@ -55,6 +58,9 @@ __all__ = [
     "run_policies",
     "Observer",
     "default_observers",
+    "CarbonObserver",
+    "CostObserver",
+    "SLOAttainmentObserver",
     "EnergyObserver",
     "LatencyObserver",
     "PowerObserver",

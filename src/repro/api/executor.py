@@ -126,7 +126,13 @@ def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
         load_fractions=fractions,
         warm_loads=warm_loads,
     )
-    return engine.run()
+    summary = engine.run()
+    # Lean sweeps only consume summary statistics; condense the
+    # per-request payloads so process pools do not spend their speedup
+    # pickling outcome objects back to the parent (every derived metric
+    # is unchanged — see RunSummary.compact).  Applied in serial mode
+    # too, so results are identical across execution modes.
+    return summary.compact() if lean else summary
 
 
 def _execute(jobs: List[_Job], workers: Optional[int], lean: bool, mode: str) -> List[RunSummary]:
@@ -153,7 +159,10 @@ def runs(
 
     ``workers`` > 1 executes scenarios on a thread or process pool (see
     the module docstring for the trade-off); ``None``, 0 or 1 runs them
-    serially.  Results are identical in every mode.
+    serially.  Results are identical in every mode.  ``lean=True``
+    additionally returns *compact* summaries (condensed latency arrays
+    instead of per-request outcome objects — identical derived metrics,
+    far cheaper to transfer from process pools).
     """
     return _execute(_prepared(list(scenarios)), workers, lean, mode)
 

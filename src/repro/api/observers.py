@@ -23,12 +23,15 @@ Each observer finally writes its results onto the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.metrics.carbon import CarbonAccount, CarbonIntensityTrace
+from repro.metrics.cost import CostAccount, CostModel
 from repro.metrics.energy import EnergyAccount
 from repro.metrics.latency import LatencyStats
 from repro.metrics.power import PowerTimeSeries
 from repro.metrics.summary import RunSummary
+from repro.workload.classification import classify_request
 from repro.workload.request import Request
 from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
 
@@ -214,6 +217,97 @@ class TimelineObserver(Observer):
         summary.pool_load_timeline = self.pool_load_timeline
 
 
+class CarbonObserver(Observer):
+    """Streams per-step emissions through a time-varying carbon intensity.
+
+    Replaces the post-hoc ``RunSummary.carbon_kg()`` pass over the
+    retained energy timeline: the same per-step terms are accumulated in
+    the same order while the simulation runs, so the totals agree exactly
+    and remain available even when the energy timeline is compacted away
+    for lean sweeps.
+    """
+
+    summary_only = True
+
+    def __init__(self, intensity: Optional[CarbonIntensityTrace] = None) -> None:
+        self.account = CarbonAccount(intensity=intensity or CarbonIntensityTrace())
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.account.add_step(event.time, event.stats.energy_wh)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.carbon = self.account
+
+
+class CostObserver(Observer):
+    """Streams GPU-hour and energy cost per step (Section V-F accounting).
+
+    Accumulates ``online_gpus * dt`` and per-step energy exactly as the
+    cluster's own counters do, so the resulting totals match the
+    post-hoc ``RunSummary.cost_usd()`` computation.
+    """
+
+    summary_only = True
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.account = CostAccount(cost_model=cost_model or CostModel())
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        self.account.add_step(event.dt, event.stats.online_gpus, event.stats.energy_wh)
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.cost = self.account
+
+
+class SLOAttainmentObserver(Observer):
+    """Per-pool SLO attainment, streamed from completed-request outcomes.
+
+    Every outcome is judged against its request type's scaled SLO (the
+    same rule :meth:`~repro.metrics.latency.LatencyStats.slo_attainment`
+    applies post-hoc) and attributed to the pool that served it, so the
+    count-weighted average of the per-pool rates equals the global rate.
+    """
+
+    summary_only = True
+
+    def __init__(self, slo_policy: SLOPolicy = DEFAULT_SLO_POLICY) -> None:
+        self.slo_policy = slo_policy
+        self.total_by_pool: Dict[str, int] = {}
+        self.met_by_pool: Dict[str, int] = {}
+
+    def on_step_completed(self, event: StepCompleted) -> None:
+        for outcome in event.stats.outcomes:
+            pool = outcome.pool
+            self.total_by_pool[pool] = self.total_by_pool.get(pool, 0) + 1
+            if outcome.squashed:
+                continue
+            request_type = classify_request(outcome.request)
+            slo = self.slo_policy.slo_for(request_type).scaled(
+                max(1.0, outcome.request.slo_scale)
+            )
+            if outcome.meets(slo.ttft_s, slo.tbt_s):
+                self.met_by_pool[pool] = self.met_by_pool.get(pool, 0) + 1
+
+    # ------------------------------------------------------------------
+    def attainment_by_pool(self) -> Dict[str, float]:
+        """SLO attainment per pool (pools that served nothing report 1.0)."""
+        return {
+            pool: (self.met_by_pool.get(pool, 0) / total) if total else 1.0
+            for pool, total in sorted(self.total_by_pool.items())
+        }
+
+    def global_attainment(self) -> float:
+        """Overall attainment; the count-weighted mean of the pool rates."""
+        total = sum(self.total_by_pool.values())
+        if total == 0:
+            return 1.0
+        return sum(self.met_by_pool.values()) / total
+
+    def contribute(self, summary: RunSummary) -> None:
+        summary.pool_slo_attainment = self.attainment_by_pool()
+        summary.pool_request_counts = dict(sorted(self.total_by_pool.items()))
+
+
 class ReconfigurationObserver(Observer):
     """Counts controller epochs by kind — a cheap example of a custom hook."""
 
@@ -233,18 +327,27 @@ class ReconfigurationObserver(Observer):
 
 
 def default_observers(
-    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY, lean: bool = False
+    slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
+    lean: bool = False,
+    carbon_intensity: Optional[CarbonIntensityTrace] = None,
+    cost_model: Optional[CostModel] = None,
 ) -> List[Observer]:
     """The engine's default observer set.
 
     The full set reproduces every field the legacy monolithic runner
-    populated; ``lean=True`` keeps only the summary observers.
+    populated, plus the streaming carbon / cost / per-pool SLO
+    collectors; ``lean=True`` keeps only the summary observers (the
+    streaming collectors are summary observers — they replace the
+    timeline-dependent post-hoc passes in lean sweeps).
     """
     observers: List[Observer] = [
         EnergyObserver(),
         LatencyObserver(slo_policy=slo_policy),
         PowerObserver(),
         ServerCountObserver(),
+        CarbonObserver(intensity=carbon_intensity),
+        CostObserver(cost_model=cost_model),
+        SLOAttainmentObserver(slo_policy=slo_policy),
     ]
     if not lean:
         observers.append(TimelineObserver())

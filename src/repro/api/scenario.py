@@ -29,8 +29,13 @@ from repro.workload.traces import Trace
 # ----------------------------------------------------------------------
 # Trace specification
 # ----------------------------------------------------------------------
-#: Request-level trace families the spec can materialise.
-TRACE_KINDS = ("one_hour", "poisson")
+#: Request-level trace families the spec can materialise.  The first two
+#: are synthetic (today's generators); ``csv`` and ``azure`` replay
+#: recorded invocation traces from disk.
+TRACE_KINDS = ("one_hour", "poisson", "csv", "azure")
+
+#: Kinds that replay a trace file rather than synthesising one.
+FILE_TRACE_KINDS = ("csv", "azure")
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,15 @@ class TraceSpec:
     ``kind="one_hour"`` builds the synthetic 1-hour service trace used
     throughout Section V-B; ``kind="poisson"`` builds the constant-rate
     Poisson traces of the load-level sensitivity study (Figure 12).
+
+    ``kind="csv"`` replays a generic request CSV
+    (timestamp / input / output rows) and ``kind="azure"`` replays the
+    Azure LLM-inference trace format (datetime ``TIMESTAMP`` column);
+    both require ``path``, support burst-preserving rate scaling via
+    ``resample`` and clip to ``duration_s``.  File parsing is cached per
+    process, and grid executors additionally share the built trace across
+    scenarios (see :func:`repro.api.executor.run_grid`), so a sweep over
+    one trace file reads it once.
     """
 
     kind: str = "one_hour"
@@ -49,12 +63,18 @@ class TraceSpec:
     seed: int = 7
     level: str = "medium"  # Poisson load level (low / medium / high)
     load_multiplier: float = 6.0  # scales Poisson levels up to cluster size
+    path: Optional[str] = None  # trace file (csv / azure kinds)
+    resample: float = 1.0  # burst-preserving rate factor (file kinds)
 
     def __post_init__(self) -> None:
         if self.kind not in TRACE_KINDS:
             raise ValueError(
                 f"unknown trace kind {self.kind!r}; known kinds: {', '.join(TRACE_KINDS)}"
             )
+        if self.kind in FILE_TRACE_KINDS and not self.path:
+            raise ValueError(f"TraceSpec(kind={self.kind!r}) requires path=")
+        if self.resample <= 0:
+            raise ValueError("resample must be positive")
 
     def build(self) -> Trace:
         """Materialise the described trace."""
@@ -67,6 +87,24 @@ class TraceSpec:
             if self.duration_s is not None and self.duration_s < trace.duration:
                 trace = trace.slice(0.0, self.duration_s)
             return trace
+        if self.kind == "csv":
+            from repro.workload.loaders import load_request_csv, resample_trace
+
+            trace = load_request_csv(self.path, service=self.service)
+            if self.resample != 1.0:
+                trace = resample_trace(trace, self.resample)
+            if self.duration_s is not None and self.duration_s < trace.duration:
+                trace = trace.slice(0.0, self.duration_s)
+            return trace
+        if self.kind == "azure":
+            from repro.workload.loaders import load_azure_trace
+
+            return load_azure_trace(
+                self.path,
+                service=self.service,
+                resample=self.resample,
+                duration_s=self.duration_s,
+            )
         # kind == "poisson"
         from repro.workload.arrival import PoissonArrivalGenerator, get_load_level
 
@@ -82,6 +120,18 @@ class TraceSpec:
         """Compact unique identifier for grid/result addressing."""
         if self.kind == "one_hour":
             parts = [self.service, f"x{self.rate_scale:g}", f"s{self.seed}"]
+        elif self.kind in FILE_TRACE_KINDS:
+            import hashlib
+            import os
+
+            # Basename alone would collide for distinct files that share
+            # a filename; a short path digest keeps keys unique per file.
+            digest = hashlib.sha1(
+                os.path.abspath(self.path).encode("utf-8")
+            ).hexdigest()[:6]
+            parts = [f"{os.path.basename(self.path)}#{digest}"]
+            if self.resample != 1.0:
+                parts.append(f"x{self.resample:g}")
         else:
             parts = [self.level, f"m{self.load_multiplier:g}", f"s{self.seed}"]
         if self.duration_s is not None:

@@ -9,10 +9,12 @@ the results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.api.executor import run_policies
 from repro.experiments.runner import ExperimentConfig
+from repro.llm.catalog import ModelSpec, get_model
 from repro.metrics.summary import RunSummary, compare_energy
 from repro.policies import ALL_POLICIES
 from repro.workload.synthetic import make_one_hour_trace
@@ -37,15 +39,21 @@ def run_cluster_evaluation(
     config: Optional[ExperimentConfig] = None,
     policies=ALL_POLICIES,
     workers: Optional[int] = None,
+    model: Optional[Union[str, ModelSpec]] = None,
 ) -> Dict[str, RunSummary]:
     """Run the six systems over the 1-hour trace (Figures 6-10).
 
     ``workers`` > 1 runs the systems concurrently; every system still
     gets the same peak-sized static budget and produces summaries
-    identical to a serial run.
+    identical to a serial run.  ``model`` re-runs the whole evaluation
+    for another catalog model (name or :class:`ModelSpec`); its
+    energy-performance profile is derived automatically.
     """
     trace = trace if trace is not None else one_hour_trace()
     config = config or ExperimentConfig()
+    if model is not None:
+        spec = get_model(model) if isinstance(model, str) else model
+        config = dataclasses.replace(config, model=spec, profile=None)
     return run_policies(trace, policies, config, workers=workers)
 
 

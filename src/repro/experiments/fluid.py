@@ -76,6 +76,9 @@ class FluidRunner:
     def _pool_loads(self, trace_bin: TraceBin) -> Dict[str, float]:
         """Per-pool prompt-token load of one bin."""
         loads: Dict[str, float] = {}
+        if trace_bin.duration <= 0:
+            # Degenerate bins (clipped trace tails) carry no sustained load.
+            return loads
         prompt_share = (
             trace_bin.input_tokens / trace_bin.total_tokens
             if trace_bin.total_tokens > 0

@@ -133,6 +133,24 @@ def resolve_static_servers(
 # ----------------------------------------------------------------------
 # Legacy runner shims (deprecated: use repro.api instead)
 # ----------------------------------------------------------------------
+#: Shims that already warned this process (one DeprecationWarning each —
+#: a driver looping over a 1000-scenario sweep should not emit 1000).
+_DEPRECATIONS_WARNED: set = set()
+
+
+def _warn_deprecated_once(key: str, message: str) -> None:
+    if key in _DEPRECATIONS_WARNED:
+        return
+    _DEPRECATIONS_WARNED.add(key)
+    # stacklevel 3: attribute the warning to the shim's caller.
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process shim warnings (for tests)."""
+    _DEPRECATIONS_WARNED.clear()
+
+
 def run_policy_on_trace(
     spec: PolicySpec,
     trace: Trace,
@@ -146,11 +164,10 @@ def run_policy_on_trace(
         the engine with the default observer set, which reproduces the
         legacy monolithic loop field-for-field.
     """
-    warnings.warn(
+    _warn_deprecated_once(
+        "run_policy_on_trace",
         "run_policy_on_trace is deprecated; use repro.api.SimulationEngine "
         "or repro.api.run_scenario",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from repro.api.engine import SimulationEngine
 
@@ -171,10 +188,9 @@ def run_all_policies(
         shared static budget is resolved into a *copy* of the config —
         the caller's ``ExperimentConfig`` is no longer mutated.
     """
-    warnings.warn(
+    _warn_deprecated_once(
+        "run_all_policies",
         "run_all_policies is deprecated; use repro.api.run_policies",
-        DeprecationWarning,
-        stacklevel=2,
     )
     from repro.api.executor import run_policies
 

@@ -9,11 +9,12 @@ are identical to a serial run.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.api.executor import run_policies, run_scenario, runs
 from repro.api.scenario import Scenario, TraceSpec
 from repro.experiments.runner import ExperimentConfig
+from repro.llm.catalog import get_model
 from repro.metrics.summary import RunSummary
 from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
 from repro.workload.synthetic import make_one_hour_trace
@@ -115,6 +116,56 @@ def figure13_pool_count(
         count: _headline_metrics(summary)
         for count, summary in zip(pool_counts, summaries)
     }
+
+
+#: Default model subset for the request-level catalog sweep (Table III's
+#: dense/MoE spread without the 100B+ giants, which need larger clusters).
+CATALOG_MODELS = ("Llama2-13B", "Mixtral-8x7B", "Llama2-70B")
+
+
+def default_catalog_trace(model: str, duration_s: float = 900.0) -> TraceSpec:
+    """The per-model trace recipe for the catalog sweep.
+
+    Smaller models serve proportionally more traffic per server, so each
+    model's trace is rate-scaled inversely with its active parameter
+    count (anchored at 15x for Llama2-70B, the paper's primary model).
+    This keeps every catalog member exercising a comparable multi-server
+    cluster instead of running the small models at a trivial load.
+    """
+    spec = get_model(model)
+    rate_scale = max(4.0, min(40.0, 15.0 * 70.0 / spec.active_params_b))
+    return TraceSpec(rate_scale=rate_scale, duration_s=duration_s)
+
+
+def model_catalog_energy(
+    models: Sequence[str] = CATALOG_MODELS,
+    policies=(SINGLE_POOL, DYNAMO_LLM),
+    traces: Optional[Mapping[str, Union[TraceSpec, Trace]]] = None,
+    duration_s: float = 900.0,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Request-level energy/SLO of the model catalog (Table III revisited).
+
+    The grid crosses the ``models`` dimension with a *per-model*
+    :class:`TraceSpec` (``traces`` overrides the default recipe), runs
+    every (model, policy) pair on the engine and reports headline
+    metrics keyed ``{model: {policy: metrics}}``.
+    """
+    traces = dict(traces or {})
+    scenarios = [
+        Scenario(
+            policy=policy,
+            trace=traces.get(model, default_catalog_trace(model, duration_s)),
+            model=model,
+        )
+        for model in models
+        for policy in policies
+    ]
+    summaries = runs(scenarios, workers=workers, lean=True)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for scenario, summary in zip(scenarios, summaries):
+        results.setdefault(scenario.model, {})[scenario.policy_name] = _headline_metrics(summary)
+    return results
 
 
 def compare_levels(results: Dict[str, Dict[str, float]], baseline: str = "SinglePool") -> Dict[str, Dict[str, float]]:

@@ -74,3 +74,27 @@ def weekly_load_statistics(
             "peak_over_valley": peak / valley if valley > 0 else float("inf"),
         }
     return stats
+
+
+def sample_replay(kind: str = "csv", policy: str = "DynamoLLM") -> Dict[str, float]:
+    """Replay the bundled sample trace end-to-end on the engine.
+
+    The request-level counterpart of Figures 1-2's characterisation:
+    loads the committed sample through the CSV (or Azure) replay backend,
+    serves it with ``policy`` and reports the streaming headline metrics.
+    Everything is offline — the sample ships with the package.
+    """
+    from repro.api import Scenario, TraceSpec, run_scenario
+    from repro.workload.loaders import sample_trace_path
+
+    scenario = Scenario(
+        policy=policy, trace=TraceSpec(kind=kind, path=sample_trace_path(kind))
+    )
+    summary = run_scenario(scenario, lean=True)
+    return {
+        "requests": float(summary.latency.count),
+        "energy_kwh": summary.energy_kwh,
+        "carbon_kg": summary.carbon.total_kg if summary.carbon else summary.carbon_kg(),
+        "cost_usd": summary.cost.total_usd if summary.cost else summary.cost_usd(),
+        "slo_attainment": summary.slo_attainment(),
+    }

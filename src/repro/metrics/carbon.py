@@ -9,8 +9,8 @@ and higher intensity overnight and during the evening ramp.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
@@ -51,6 +51,53 @@ class CarbonIntensityTrace:
             points.append((time, self.intensity_at(time)))
             time += step_s
         return points
+
+
+@dataclass
+class CarbonAccount:
+    """Streaming CO2 accounting, accumulated per scheduling step.
+
+    The streaming counterpart of the post-hoc
+    :func:`carbon_emissions_kg` over an energy timeline: the
+    :class:`~repro.api.observers.CarbonObserver` feeds each step's energy
+    through the time-varying intensity as the simulation runs, so totals
+    are available without retaining the energy timeline (and agree with
+    the post-hoc computation exactly — same per-step terms, same order).
+    """
+
+    intensity: CarbonIntensityTrace = field(default_factory=CarbonIntensityTrace)
+    total_kg: float = 0.0
+    timeline: List[Tuple[float, float]] = field(default_factory=list)  # (time, kg/step)
+
+    def add_step(self, time: float, energy_wh: float) -> None:
+        """Record one simulation step's emissions."""
+        kg = (energy_wh / 1000.0) * self.intensity.intensity_at(time)
+        self.total_kg += kg
+        self.timeline.append((time, kg))
+
+    def compact(self) -> "CarbonAccount":
+        """Store the per-step timeline as a flat array (lean transfers).
+
+        ``(time, kg)`` rows keep iterating identically, so
+        :meth:`binned_kg_per_h` is unaffected; only the pickled size
+        shrinks (the list grows with simulated duration otherwise).
+        """
+        import numpy as np
+
+        if self.timeline and not isinstance(self.timeline, np.ndarray):
+            self.timeline = np.asarray(self.timeline, dtype=float)
+        return self
+
+    def binned_kg_per_h(self, bin_seconds: float = 3600.0) -> List[Tuple[float, float]]:
+        """Emission rate (kg/h) aggregated into fixed bins (Figure 16)."""
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        bins: Dict[int, float] = {}
+        for time, kg in self.timeline:
+            index = int(time // bin_seconds)
+            bins[index] = bins.get(index, 0.0) + kg
+        hours_per_bin = bin_seconds / 3600.0
+        return [(index * bin_seconds, bins[index] / hours_per_bin) for index in sorted(bins)]
 
 
 def carbon_emissions_kg(

@@ -8,7 +8,7 @@ few dollars per hour of energy savings against >$1000/h of GPU savings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 
@@ -73,3 +73,46 @@ class CostModel:
                 baseline_energy_kwh - optimized_energy_kwh
             ),
         }
+
+
+@dataclass
+class CostAccount:
+    """Streaming operational-cost accounting, accumulated per step.
+
+    Tracks GPU-seconds and energy exactly as the cluster does
+    (``online_gpus * dt`` and per-step Wh, in step order), so the totals
+    reproduce the post-hoc ``RunSummary.cost_usd()`` computation without
+    needing the finished cluster object.
+    """
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    gpu_seconds: float = 0.0
+    energy_wh: float = 0.0
+
+    def add_step(self, dt: float, online_gpus: int, energy_wh: float) -> None:
+        """Record one simulation step's resource consumption."""
+        self.gpu_seconds += online_gpus * dt
+        self.energy_wh += energy_wh
+
+    @property
+    def gpu_hours(self) -> float:
+        return self.gpu_seconds / 3600.0
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_wh / 1000.0
+
+    @property
+    def gpu_cost_usd(self) -> float:
+        return self.cost_model.gpu_cost(self.gpu_hours)
+
+    @property
+    def energy_cost_usd(self) -> float:
+        return self.cost_model.energy_cost(self.energy_kwh)
+
+    @property
+    def total_usd(self) -> float:
+        return self.cost_model.total_cost(self.gpu_hours, self.energy_kwh)
+
+    def summary(self) -> Dict[str, float]:
+        return self.cost_model.summary(self.gpu_hours, self.energy_kwh)

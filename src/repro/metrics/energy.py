@@ -45,6 +45,19 @@ class EnergyAccount:
             (index * bin_seconds, bins[index] / 1000.0) for index in sorted(bins)
         ]
 
+    def compact(self) -> "EnergyAccount":
+        """Store the per-step timeline as a flat array (lean transfers).
+
+        The ``(time, energy_wh)`` rows keep iterating and indexing the
+        same way, so :func:`repro.metrics.carbon.carbon_emissions_kg` and
+        :meth:`binned_kwh` are unaffected; only the pickled size shrinks.
+        """
+        import numpy as np
+
+        if self.timeline and not isinstance(self.timeline, np.ndarray):
+            self.timeline = np.asarray(self.timeline, dtype=float)
+        return self
+
     def savings_vs(self, baseline: "EnergyAccount") -> float:
         """Fractional energy saving relative to a baseline account."""
         if baseline.total_wh <= 0:

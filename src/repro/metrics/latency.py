@@ -103,3 +103,109 @@ class LatencyStats:
     def mean_tbt(self) -> float:
         values = self.tbt_values()
         return float(values.mean()) if values.size else 0.0
+
+    # ------------------------------------------------------------------
+    def condensed(self, include_types: bool = True) -> "CondensedLatencyStats":
+        """Collapse the retained outcomes into numeric arrays.
+
+        The result answers every statistical query of this class with
+        identical values (same floats, same order) but pickles orders of
+        magnitude smaller, because the per-request outcome/request
+        objects are dropped.  Used by the sweep executors to keep lean
+        result transfer cheap across process pools.
+        """
+        met = 0
+        for outcome in self.outcomes:
+            if outcome.squashed:
+                continue
+            request_type = classify_request(outcome.request)
+            slo = self.slo_policy.slo_for(request_type).scaled(
+                max(1.0, outcome.request.slo_scale)
+            )
+            if outcome.meets(slo.ttft_s, slo.tbt_s):
+                met += 1
+        per_type = (
+            {
+                name: stats.condensed(include_types=False)
+                for name, stats in self.by_request_type().items()
+            }
+            if include_types
+            else {}
+        )
+        return CondensedLatencyStats(
+            slo_policy=self.slo_policy,
+            ttft=self.ttft_values(),
+            tbt=self.tbt_values(),
+            total=self.count,
+            squashed=self.squashed_count,
+            met=met,
+            per_type=per_type,
+        )
+
+
+@dataclass
+class CondensedLatencyStats:
+    """Array-backed latency statistics with the :class:`LatencyStats` API.
+
+    Holds the served TTFT/TBT samples plus precomputed SLO counters
+    instead of per-request outcome objects; every derived statistic
+    (percentiles, means, attainment, per-type split) matches the
+    originating :class:`LatencyStats` exactly.  New outcomes cannot be
+    added — condensing happens after a run finishes.
+    """
+
+    slo_policy: SLOPolicy
+    ttft: np.ndarray
+    tbt: np.ndarray
+    total: int
+    squashed: int
+    met: int
+    per_type: Dict[str, "CondensedLatencyStats"] = field(default_factory=dict)
+
+    # -- the LatencyStats read API ------------------------------------
+    @property
+    def count(self) -> int:
+        return self.total
+
+    @property
+    def squashed_count(self) -> int:
+        return self.squashed
+
+    def ttft_values(self) -> np.ndarray:
+        return self.ttft
+
+    def tbt_values(self) -> np.ndarray:
+        return self.tbt
+
+    def ttft_percentile(self, percentile: float) -> float:
+        return float(np.percentile(self.ttft, percentile)) if self.ttft.size else 0.0
+
+    def tbt_percentile(self, percentile: float) -> float:
+        return float(np.percentile(self.tbt, percentile)) if self.tbt.size else 0.0
+
+    def percentile_table(self, percentiles=(50, 90, 99)) -> Dict[str, Dict[int, float]]:
+        return {
+            "ttft_s": {int(p): self.ttft_percentile(p) for p in percentiles},
+            "tbt_s": {int(p): self.tbt_percentile(p) for p in percentiles},
+        }
+
+    def slo_attainment(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return self.met / self.total
+
+    def violations(self) -> int:
+        served = self.total - self.squashed
+        return served - int(round(self.slo_attainment() * self.total))
+
+    def by_request_type(self) -> Dict[str, "CondensedLatencyStats"]:
+        return self.per_type
+
+    def mean_ttft(self) -> float:
+        return float(self.ttft.mean()) if self.ttft.size else 0.0
+
+    def mean_tbt(self) -> float:
+        return float(self.tbt.mean()) if self.tbt.size else 0.0
+
+    def condensed(self, include_types: bool = True) -> "CondensedLatencyStats":
+        return self

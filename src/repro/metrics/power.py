@@ -53,3 +53,13 @@ class PowerTimeSeries:
 
     def power_at_times(self) -> List[Tuple[float, float]]:
         return [(time, power) for time, power, _ in self.samples]
+
+    def compact(self) -> "PowerTimeSeries":
+        """Store samples as a flat float array (lean transfers).
+
+        ``(time, power, gpus)`` rows keep unpacking identically, so every
+        derived statistic is unchanged; only the pickled size shrinks.
+        """
+        if self.samples and not isinstance(self.samples, np.ndarray):
+            self.samples = np.asarray(self.samples, dtype=float)
+        return self

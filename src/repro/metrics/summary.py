@@ -5,8 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.metrics.carbon import CarbonIntensityTrace, carbon_emissions_kg
-from repro.metrics.cost import CostModel
+from repro.metrics.carbon import CarbonAccount, CarbonIntensityTrace, carbon_emissions_kg
+from repro.metrics.cost import CostAccount, CostModel
 from repro.metrics.energy import EnergyAccount
 from repro.metrics.latency import LatencyStats
 from repro.metrics.power import PowerTimeSeries
@@ -33,6 +33,11 @@ class RunSummary:
     pool_load_timeline: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     squashed_requests: int = 0
     routed_requests: int = 0
+    #: Streaming collectors (populated by the default observer set).
+    carbon: Optional[CarbonAccount] = None
+    cost: Optional[CostAccount] = None
+    pool_slo_attainment: Dict[str, float] = field(default_factory=dict)
+    pool_request_counts: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -53,6 +58,25 @@ class RunSummary:
     def cost_usd(self, cost_model: Optional[CostModel] = None) -> float:
         cost_model = cost_model or CostModel()
         return cost_model.total_cost(self.gpu_hours, self.energy_kwh)
+
+    # ------------------------------------------------------------------
+    def compact(self) -> "RunSummary":
+        """Shrink this summary's serialised size for cross-process transfer.
+
+        Lean sweeps on process pools used to spend most of their
+        wall-clock pickling per-request outcome objects back to the
+        parent.  Compacting condenses the latency outcomes into numeric
+        arrays (identical derived statistics — percentiles, means, SLO
+        attainment, per-type breakdowns) and stores the energy / power /
+        carbon step samples as flat arrays.  The remaining streaming
+        totals are O(pools) and kept as-is.  In-place; returns ``self``.
+        """
+        self.latency = self.latency.condensed()
+        self.energy.compact()
+        self.power.compact()
+        if self.carbon is not None:
+            self.carbon.compact()
+        return self
 
     def headline(self) -> Dict[str, float]:
         """Compact scoreboard of the run."""

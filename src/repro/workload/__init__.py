@@ -32,6 +32,12 @@ from repro.workload.synthetic import (
 from repro.workload.arrival import PoissonArrivalGenerator, LoadLevel, LOAD_LEVELS
 from repro.workload.predictor import OutputLengthPredictor
 from repro.workload.load_predictor import TemplateLoadPredictor
+from repro.workload.loaders import (
+    load_azure_trace,
+    load_request_csv,
+    resample_trace,
+    sample_trace_path,
+)
 
 __all__ = [
     "Request",
@@ -64,4 +70,8 @@ __all__ = [
     "LOAD_LEVELS",
     "OutputLengthPredictor",
     "TemplateLoadPredictor",
+    "load_azure_trace",
+    "load_request_csv",
+    "resample_trace",
+    "sample_trace_path",
 ]

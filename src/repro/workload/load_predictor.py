@@ -11,6 +11,7 @@ recent observation to track drift.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -49,18 +50,36 @@ class TemplateLoadPredictor:
         return is_weekend * 24 + hour
 
     def observe(self, time_s: float, request_type: str, load: float) -> None:
-        """Record the observed load (tokens/s) of a request type."""
+        """Record the observed load (tokens/s) of a request type.
+
+        Non-finite or negative samples (degenerate replay bins) are
+        dropped entirely, and a zero-load sample never *seeds* a slot:
+        replayed traces with empty bins would otherwise anchor first-week
+        templates at 0.0 and drag the running mean down for the rest of
+        the run.  Zero loads still update the last observation, and are
+        averaged into slots that already have real history.
+        """
+        if not math.isfinite(load) or load < 0.0:
+            return
+        self._last_observation[request_type] = load
         slot = self._slot(time_s)
         key = (slot, request_type)
         count = self._counts[key]
+        if load == 0.0 and count == 0:
+            return
         previous = self._template.get(key, load)
         # Running mean per slot.
         self._template[key] = (previous * count + load) / (count + 1)
         self._counts[key] = count + 1
-        self._last_observation[request_type] = load
 
     def predict(self, time_s: float, request_type: str) -> float:
-        """Forecast the load (tokens/s) for the epoch starting at ``time_s``."""
+        """Forecast the load (tokens/s) for the epoch starting at ``time_s``.
+
+        Slots without history (the whole first week of a cold start)
+        fall back to the latest observation of the request type rather
+        than forecasting 0.0, which would de-provision a pool that is
+        actively serving load.
+        """
         slot = self._slot(time_s)
         template_value: Optional[float] = self._template.get((slot, request_type))
         last_value = self._last_observation.get(request_type)

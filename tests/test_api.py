@@ -22,6 +22,7 @@ from repro.api import (
 from repro.api.observers import Observer
 from repro.experiments.runner import (
     ExperimentConfig,
+    reset_deprecation_warnings,
     run_all_policies,
     run_policy_on_trace,
 )
@@ -166,6 +167,7 @@ class TestEngineEquivalence:
     def test_engine_matches_legacy_shim_byte_for_byte(self, api_config):
         """Shim and direct engine agree on every field (10-min fixed-seed trace)."""
         trace = TraceSpec(rate_scale=6.0, duration_s=600.0, seed=7).build()
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             legacy = run_policy_on_trace(DYNAMO_LLM, trace, api_config)
         engine = SimulationEngine(DYNAMO_LLM, trace, api_config)
@@ -295,10 +297,27 @@ class TestExecutor:
 
 class TestDeprecationShims:
     def test_run_policy_on_trace_warns(self, api_trace, api_config):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning, match="run_policy_on_trace"):
             run_policy_on_trace(SINGLE_POOL, api_trace, api_config)
 
+    def test_shims_warn_exactly_once_per_process(self, api_trace, api_config):
+        """A sweep looping over a shim must not emit one warning per call."""
+        import warnings as warnings_module
+
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="run_policy_on_trace"):
+            run_policy_on_trace(SINGLE_POOL, api_trace, api_config)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            run_policy_on_trace(SINGLE_POOL, api_trace, api_config)
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        # ... and the two shims warn independently.
+        with pytest.warns(DeprecationWarning, match="run_all_policies"):
+            run_all_policies(api_trace, (SINGLE_POOL,), api_config)
+
     def test_run_all_policies_warns_and_matches(self, api_trace, api_config):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning, match="run_all_policies"):
             legacy = run_all_policies(api_trace, (SINGLE_POOL, DYNAMO_LLM), api_config)
         modern = run_policies(api_trace, (SINGLE_POOL, DYNAMO_LLM), api_config)
@@ -308,6 +327,7 @@ class TestDeprecationShims:
 
     def test_run_all_policies_does_not_mutate_config(self, api_trace, api_config):
         config = dataclasses.replace(api_config, static_servers=None)
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             run_all_policies(api_trace, (SINGLE_POOL,), config)
         assert config.static_servers is None

@@ -25,14 +25,13 @@ from repro.experiments.overheads import (
     table5_instance_creation,
     table6_resharding_matrix,
 )
+from repro.api import SimulationEngine, run_policies
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
 from repro.experiments.runner import (
     ExperimentConfig,
     load_fractions_from_trace,
     pool_loads_from_trace,
     recommended_static_servers,
-    run_all_policies,
-    run_policy_on_trace,
 )
 from repro.experiments.traces import figure1_request_mix, figure2_weekly_load, weekly_load_statistics
 from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
@@ -147,6 +146,8 @@ class TestRegistry:
             "figure15",
             "figure16",
             "cost",
+            "catalog",
+            "replay",
         }
         assert expected <= set(EXPERIMENTS)
 
@@ -180,14 +181,14 @@ class TestRunnerHelpers:
 
 class TestDetailedRunner:
     def test_single_pool_run_completes_requests(self, tiny_trace, experiment_config):
-        summary = run_policy_on_trace(SINGLE_POOL, tiny_trace, experiment_config)
+        summary = SimulationEngine(SINGLE_POOL, tiny_trace, experiment_config).run()
         assert summary.latency.count == len(tiny_trace)
         assert summary.energy_kwh > 0.0
         assert summary.gpu_hours > 0.0
         assert summary.slo_attainment() > 0.8
 
     def test_dynamo_run_saves_energy(self, short_trace, experiment_config):
-        summaries = run_all_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
+        summaries = run_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
         baseline = summaries["SinglePool"]
         dynamo = summaries["DynamoLLM"]
         assert dynamo.energy_kwh < baseline.energy_kwh
@@ -196,7 +197,7 @@ class TestDetailedRunner:
         assert dynamo.latency.count == baseline.latency.count
 
     def test_cluster_eval_extractors(self, short_trace, experiment_config):
-        summaries = run_all_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
+        summaries = run_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), experiment_config)
         energy = figure6_energy_by_system(summaries)
         assert set(energy) == {"SinglePool", "DynamoLLM"}
         latency = figure7_latency_percentiles(summaries)
@@ -244,3 +245,53 @@ class TestFluidRunner:
         runner = FluidRunner(profile=profile)
         result = runner.run(DYNAMO_LLM, day_bins)
         assert result.carbon_kg() > 0.0
+
+
+class TestModelCatalog:
+    def test_cluster_eval_accepts_model(self, tiny_trace, experiment_config):
+        from repro.experiments.cluster_eval import run_cluster_evaluation
+        from repro.policies import SINGLE_POOL
+
+        summaries = run_cluster_evaluation(
+            trace=tiny_trace, policies=(SINGLE_POOL,), model="Llama2-13B"
+        )
+        assert summaries["SinglePool"].energy_kwh > 0.0
+
+    def test_model_catalog_energy_per_model_traces(self):
+        from repro.api import TraceSpec
+        from repro.experiments.sensitivity import model_catalog_energy
+
+        tiny = {
+            "Llama2-13B": TraceSpec(rate_scale=2.0, duration_s=90.0, seed=9),
+            "Llama2-70B": TraceSpec(rate_scale=2.0, duration_s=90.0, seed=9),
+        }
+        results = model_catalog_energy(
+            models=tuple(tiny), policies=("SinglePool",), traces=tiny
+        )
+        assert set(results) == set(tiny)
+        for metrics in results.values():
+            assert metrics["SinglePool"]["energy_kwh"] > 0.0
+
+    def test_default_catalog_trace_scales_inverse_to_model(self):
+        from repro.experiments.sensitivity import default_catalog_trace
+
+        small = default_catalog_trace("Llama2-13B")
+        large = default_catalog_trace("Falcon-180B")
+        assert small.rate_scale > large.rate_scale
+
+    def test_sweep_models_dimension_in_keys(self):
+        from repro.api import TraceSpec, sweep
+
+        grid = sweep(
+            policies=("SinglePool",),
+            traces=(TraceSpec(rate_scale=2.0, duration_s=60.0),),
+            models=("Llama2-13B", "Llama2-70B"),
+        )
+        assert len(grid) == 2
+        assert any("Llama2-13B" in key for key in grid.keys())
+
+    def test_sample_replay_experiment(self):
+        result = run_experiment("replay")
+        assert result["requests"] > 0
+        assert result["energy_kwh"] > 0.0
+        assert result["carbon_kg"] > 0.0

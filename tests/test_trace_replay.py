@@ -1,0 +1,410 @@
+"""Trace-replay backends, streaming observers and replay edge cases."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import Scenario, TraceSpec, run_scenario, sweep
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.load_predictor import TemplateLoadPredictor
+from repro.workload.loaders import (
+    load_azure_trace,
+    load_request_csv,
+    resample_trace,
+    sample_trace_path,
+)
+from repro.workload.request import Request
+from repro.workload.traces import Trace, TraceBin, bin_trace, save_trace_csv
+
+
+# ----------------------------------------------------------------------
+# Loaders
+# ----------------------------------------------------------------------
+class TestCsvLoader:
+    def test_save_load_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(tiny_trace, str(path))
+        loaded = load_request_csv(str(path))
+        assert len(loaded) == len(tiny_trace)
+        for original, restored in zip(tiny_trace.requests, loaded.requests):
+            assert restored.arrival_time == pytest.approx(original.arrival_time, abs=1e-3)
+            assert restored.input_tokens == original.input_tokens
+            assert restored.output_tokens == original.output_tokens
+            assert restored.service == original.service
+
+    def test_round_trip_preserves_offered_load(self, tiny_trace, tmp_path):
+        """Load -> bin -> replayed offered TPS matches the original trace."""
+        path = tmp_path / "trace.csv"
+        save_trace_csv(tiny_trace, str(path))
+        loaded = load_request_csv(str(path))
+        original_bins = bin_trace(tiny_trace, 30.0)
+        replay_bins = bin_trace(loaded, 30.0)
+        assert len(original_bins) == len(replay_bins)
+        for original, replay in zip(original_bins, replay_bins):
+            assert replay.tokens_per_second == pytest.approx(
+                original.tokens_per_second, rel=1e-6
+            )
+
+    def test_flexible_column_names(self, tmp_path):
+        path = tmp_path / "alt.csv"
+        path.write_text("Timestamp,Input_Tokens,Output-Tokens\n0.5,100,20\n1.5,200,40\n")
+        trace = load_request_csv(str(path))
+        assert [r.input_tokens for r in trace.requests] == [100, 200]
+        assert trace.requests[0].arrival_time == 0.5
+
+    def test_zero_token_rows_skipped(self, tmp_path):
+        path = tmp_path / "zeros.csv"
+        path.write_text(
+            "arrival_time,input_tokens,output_tokens\n"
+            "0.0,100,10\n1.0,0,50\n2.0,50,0\n3.0,80,8\n"
+        )
+        trace = load_request_csv(str(path))
+        assert len(trace) == 2  # zero-token invocations carry no work
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("arrival_time,input_tokens,output_tokens\n")
+        with pytest.raises(ValueError, match="no usable trace rows"):
+            load_request_csv(str(path))
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError, match="timestamp/input/output"):
+            load_request_csv(str(path))
+
+
+class TestAzureLoader:
+    def test_sample_parses_and_rebases(self):
+        trace = load_azure_trace(sample_trace_path("azure"))
+        assert len(trace) > 1000
+        assert trace.requests[0].arrival_time == 0.0  # rebased to first arrival
+        assert trace.duration < 241.0
+
+    def test_matches_csv_sample_modulo_rebase(self):
+        csv_trace = load_request_csv(sample_trace_path("csv"))
+        azure_trace = load_azure_trace(sample_trace_path("azure"))
+        assert len(csv_trace) == len(azure_trace)
+        offset = csv_trace.requests[0].arrival_time
+        for csv_req, az_req in zip(csv_trace.requests, azure_trace.requests):
+            assert az_req.arrival_time == pytest.approx(
+                csv_req.arrival_time - offset, abs=2e-3
+            )
+            assert az_req.input_tokens == csv_req.input_tokens
+            assert az_req.output_tokens == csv_req.output_tokens
+
+    def test_duration_clipping(self):
+        clipped = load_azure_trace(sample_trace_path("azure"), duration_s=60.0)
+        assert clipped.duration <= 60.0
+        assert len(clipped) > 0
+
+    def test_resample_applied(self):
+        base = load_azure_trace(sample_trace_path("azure"))
+        doubled = load_azure_trace(sample_trace_path("azure"), resample=2.0)
+        assert len(doubled) == 2 * len(base)
+
+    def test_naive_timestamps_are_timezone_independent(self, tmp_path):
+        """Naive datetimes parse as UTC: gaps must not depend on host TZ/DST."""
+        import os
+        import time
+
+        path = tmp_path / "dst.csv"
+        path.write_text(
+            "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+            "2023-11-05 01:30:00.000000,100,10\n"  # US DST fall-back night
+            "2023-11-05 01:59:00.000000,100,10\n"
+            "2023-11-05 02:01:00.000000,100,10\n"
+        )
+        original_tz = os.environ.get("TZ")
+        gaps = {}
+        try:
+            for tz in ("UTC", "America/New_York"):
+                os.environ["TZ"] = tz
+                time.tzset()
+                from repro.workload.loaders import clear_trace_cache
+
+                clear_trace_cache()
+                trace = load_azure_trace(str(path))
+                gaps[tz] = [r.arrival_time for r in trace.requests]
+        finally:
+            if original_tz is None:
+                os.environ.pop("TZ", None)
+            else:
+                os.environ["TZ"] = original_tz
+            time.tzset()
+        assert gaps["UTC"] == gaps["America/New_York"] == [0.0, 1740.0, 1860.0]
+
+
+class TestResample:
+    def test_burst_preserving_upsample(self, tiny_trace):
+        doubled = resample_trace(tiny_trace, 2.0)
+        assert len(doubled) == 2 * len(tiny_trace)
+        # Offered load per bin scales by the factor (bursts preserved).
+        for original, scaled in zip(bin_trace(tiny_trace, 30.0), bin_trace(doubled, 30.0)):
+            if original.request_count == 0:
+                continue
+            assert scaled.request_count == pytest.approx(
+                2.0 * original.request_count, rel=0.01
+            )
+
+    def test_fractional_downsample_rate(self, tiny_trace):
+        thinned = resample_trace(tiny_trace, 0.4)
+        assert len(thinned) == pytest.approx(0.4 * len(tiny_trace), rel=0.02)
+        # Local structure: each bin keeps roughly its share of requests.
+        for original, scaled in zip(bin_trace(tiny_trace, 60.0), bin_trace(thinned, 60.0)):
+            if original.request_count < 20:
+                continue
+            assert scaled.request_count == pytest.approx(
+                0.4 * original.request_count, rel=0.25
+            )
+
+    def test_identity_and_validation(self, tiny_trace):
+        assert resample_trace(tiny_trace, 1.0) is tiny_trace
+        with pytest.raises(ValueError):
+            resample_trace(tiny_trace, 0.0)
+
+
+# ----------------------------------------------------------------------
+# TraceSpec integration
+# ----------------------------------------------------------------------
+class TestFileTraceSpec:
+    def test_csv_kind_builds(self):
+        spec = TraceSpec(kind="csv", path=sample_trace_path("csv"), duration_s=120.0)
+        trace = spec.build()
+        assert trace.duration <= 120.0
+        assert "sample_conversation.csv" in spec.key
+
+    def test_azure_kind_builds(self):
+        spec = TraceSpec(kind="azure", path=sample_trace_path("azure"), resample=0.5)
+        trace = spec.build()
+        assert len(trace) > 0
+        assert "x0.5" in spec.key
+
+    def test_path_required(self):
+        with pytest.raises(ValueError, match="requires path"):
+            TraceSpec(kind="csv")
+
+    def test_same_basename_different_files_get_distinct_keys(self, tmp_path):
+        rows = "arrival_time,input_tokens,output_tokens\n0.0,100,10\n"
+        for sub in ("a", "b"):
+            (tmp_path / sub).mkdir()
+            (tmp_path / sub / "trace.csv").write_text(rows)
+        grid = sweep(
+            policies=("SinglePool",),
+            traces=(
+                TraceSpec(kind="csv", path=str(tmp_path / "a" / "trace.csv")),
+                TraceSpec(kind="csv", path=str(tmp_path / "b" / "trace.csv")),
+            ),
+        )
+        assert len(set(grid.keys())) == 2
+
+    def test_azure_kind_respects_service(self):
+        spec = TraceSpec(kind="azure", path=sample_trace_path("azure"), service="coding")
+        trace = spec.build()
+        assert all(r.service == "coding" for r in trace.requests)
+
+    def test_grid_shares_one_file_trace(self):
+        spec = TraceSpec(kind="csv", path=sample_trace_path("csv"), duration_s=60.0)
+        grid = sweep(policies=("SinglePool", "DynamoLLM"), traces=(spec,))
+        assert len(grid) == 2
+        assert all("sample_conversation" in key for key in grid.keys())
+
+    def test_sample_replay_end_to_end(self, experiment_config):
+        spec = TraceSpec(kind="csv", path=sample_trace_path("csv"), duration_s=120.0)
+        scenario = Scenario(policy="DynamoLLM", trace=spec, base_config=experiment_config)
+        summary = run_scenario(scenario, lean=True)
+        assert summary.latency.count == len(spec.build())
+        assert summary.energy_kwh > 0.0
+
+    def test_replay_reproduces_offered_tps(self):
+        """The spec's built trace offers the file's load (binned TPS)."""
+        spec = TraceSpec(kind="csv", path=sample_trace_path("csv"))
+        direct = load_request_csv(sample_trace_path("csv"))
+        built = spec.build()
+        for file_bin, built_bin in zip(bin_trace(direct, 30.0), bin_trace(built, 30.0)):
+            assert built_bin.tokens_per_second == pytest.approx(
+                file_bin.tokens_per_second, rel=1e-9
+            )
+
+
+# ----------------------------------------------------------------------
+# Streaming observers vs post-hoc accounting
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def replay_summaries(profile):
+    config = ExperimentConfig(profile=profile, max_servers=16)
+    spec = TraceSpec(rate_scale=3.0, duration_s=120.0, seed=9)
+    return [
+        run_scenario(Scenario(policy=policy, trace=spec, base_config=config))
+        for policy in ("SinglePool", "DynamoLLM")
+    ]
+
+
+class TestStreamingObservers:
+    def test_carbon_matches_post_hoc(self, replay_summaries):
+        for summary in replay_summaries:
+            assert summary.carbon is not None
+            assert abs(summary.carbon.total_kg - summary.carbon_kg()) < 1e-9
+
+    def test_cost_matches_post_hoc(self, replay_summaries):
+        for summary in replay_summaries:
+            assert summary.cost is not None
+            assert abs(summary.cost.total_usd - summary.cost_usd()) < 1e-9
+            assert abs(summary.cost.gpu_hours - summary.gpu_hours) < 1e-9
+            assert abs(summary.cost.energy_kwh - summary.energy_kwh) < 1e-9
+
+    def test_pool_slo_attainment_sums_to_global(self, replay_summaries):
+        for summary in replay_summaries:
+            counts = summary.pool_request_counts
+            total = sum(counts.values())
+            assert total == summary.latency.count
+            weighted = sum(
+                summary.pool_slo_attainment[pool] * count
+                for pool, count in counts.items()
+            )
+            assert weighted / total == pytest.approx(summary.slo_attainment(), abs=1e-9)
+
+    def test_carbon_timeline_binning(self, replay_summaries):
+        summary = replay_summaries[0]
+        binned = summary.carbon.binned_kg_per_h(60.0)
+        assert binned
+        total_from_bins = sum(kg_per_h * (60.0 / 3600.0) for _, kg_per_h in binned)
+        assert total_from_bins == pytest.approx(summary.carbon.total_kg, rel=1e-9)
+
+    def test_lean_compact_preserves_streaming_totals(self, experiment_config):
+        from repro.api import runs
+
+        spec = TraceSpec(rate_scale=3.0, duration_s=120.0, seed=9)
+        scenario = Scenario(policy="DynamoLLM", trace=spec, base_config=experiment_config)
+        full = run_scenario(scenario)
+        (lean,) = runs([scenario], lean=True)
+        assert lean.carbon.total_kg == full.carbon.total_kg
+        assert lean.cost.total_usd == full.cost.total_usd
+        assert lean.pool_slo_attainment == full.pool_slo_attainment
+        # Post-hoc accounting still works on the compacted energy timeline.
+        assert lean.carbon_kg() == pytest.approx(full.carbon_kg(), abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Replay edge cases
+# ----------------------------------------------------------------------
+class TestReplayEdgeCases:
+    def test_zero_duration_bin_properties(self):
+        degenerate = TraceBin(
+            start_time=0.0, duration=0.0, request_count=3,
+            input_tokens=100, output_tokens=50,
+        )
+        assert degenerate.tokens_per_second == 0.0
+        assert degenerate.prompt_tokens_per_second == 0.0
+        assert degenerate.requests_per_second == 0.0
+
+    def test_fluid_pool_loads_handle_zero_duration(self):
+        from repro.experiments.fluid import FluidRunner
+
+        runner = FluidRunner()
+        degenerate = TraceBin(
+            start_time=0.0, duration=0.0, request_count=1,
+            input_tokens=100, output_tokens=50,
+            count_by_type={"MM": 1}, tokens_by_type={"MM": 150},
+        )
+        assert runner._pool_loads(degenerate) == {}
+
+    def test_empty_trace_has_zero_duration(self):
+        trace = Trace(name="empty", requests=[])
+        assert trace.duration == 0.0
+        assert trace.mean_tokens_per_second == 0.0
+        assert bin_trace(trace, 60.0)  # still produces a (single, empty) bin
+
+
+class TestPredictorColdStart:
+    def test_cold_slot_falls_back_to_last_value(self):
+        predictor = TemplateLoadPredictor(blend=0.5, headroom=1.0)
+        predictor.observe(10 * 3600.0, "MM", 1000.0)
+        # A slot never observed (next day, different hour): last value, not 0.
+        forecast = predictor.predict(30 * 3600.0, "MM")
+        assert forecast == pytest.approx(1000.0)
+
+    def test_empty_bins_do_not_seed_template_with_zero(self):
+        predictor = TemplateLoadPredictor(blend=1.0, headroom=1.0)
+        slot_time = 10 * 3600.0
+        predictor.observe(slot_time, "MM", 0.0)  # cold empty bin
+        predictor.observe(slot_time, "MM", 1000.0)
+        # Pure-template prediction: the zero must not have dragged the mean.
+        assert predictor.predict(slot_time, "MM") == pytest.approx(1000.0)
+
+    def test_zero_observed_after_history_still_averages(self):
+        predictor = TemplateLoadPredictor(blend=1.0, headroom=1.0)
+        slot_time = 10 * 3600.0
+        predictor.observe(slot_time, "MM", 1000.0)
+        predictor.observe(slot_time, "MM", 0.0)  # genuine lull, counted
+        assert predictor.predict(slot_time, "MM") == pytest.approx(500.0)
+
+    def test_non_finite_and_negative_loads_dropped(self):
+        predictor = TemplateLoadPredictor(blend=1.0, headroom=1.0)
+        predictor.observe(0.0, "MM", float("nan"))
+        predictor.observe(0.0, "MM", float("inf"))
+        predictor.observe(0.0, "MM", -5.0)
+        assert predictor.predict(0.0, "MM") == 0.0
+        predictor.observe(0.0, "MM", 100.0)
+        assert predictor.predict(0.0, "MM") == pytest.approx(100.0)
+        assert math.isfinite(predictor.predict(0.0, "MM"))
+
+
+# ----------------------------------------------------------------------
+# CLI replay
+# ----------------------------------------------------------------------
+class TestCliReplay:
+    def test_run_with_trace_file(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        code = cli_main(
+            [
+                "run", "--trace-file", sample_trace_path("csv"),
+                "--duration", "60", "--lean", "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        row = json.loads(capsys.readouterr().out)
+        assert "sample_conversation.csv" in row["scenario"]
+        assert row["energy_kwh"] > 0.0
+        assert row["carbon_kg"] > 0.0
+        assert row["cost_usd"] > 0.0
+        assert row["pool_slo_attainment"]
+
+    def test_run_azure_trace_file(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        code = cli_main(
+            [
+                "run", "--trace", "azure", "--trace-file", sample_trace_path("azure"),
+                "--duration", "60", "--lean", "--json",
+            ]
+        )
+        assert code == 0
+
+    def test_trace_file_required_for_file_kinds(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["run", "--trace", "csv"]) == 2
+        assert "requires --trace-file" in capsys.readouterr().err
+
+    def test_sweep_traces_dimension(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        code = cli_main(
+            [
+                "sweep", "--policies", "SinglePool",
+                "--traces", sample_trace_path("csv"),
+                "--duration", "60", "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 1
+        assert "sample_conversation.csv" in payload["results"][0]["scenario"]
