@@ -3,10 +3,14 @@
 Subcommands:
 
 * ``run``   — simulate one policy on one trace and print the headline
-  metrics (energy, latency percentiles, SLO attainment).
+  metrics (energy, latency percentiles, SLO attainment).  ``--backend
+  fluid`` runs the binned fluid simulator (week-scale traces in
+  milliseconds; no latency percentiles).
 * ``sweep`` — expand a scenario grid over policies x trace x SLO scales
   x predictor accuracies x pool counts and run it, optionally in
-  parallel (``--workers``).
+  parallel (``--workers``).  ``--out results.jsonl`` (or ``.csv``)
+  streams one record per completed scenario to disk instead of
+  accumulating summaries in memory.
 * ``list-experiments`` — list the registered paper artefacts.
 * ``bench`` — run registered experiments by id and report wall-clock
   times (defaults to the light, analytic artefacts).
@@ -50,9 +54,9 @@ def _trace_spec(args, path: Optional[str] = None):
             duration_s=args.duration,
             resample=args.resample,
         )
-    if args.trace == "one_hour":
+    if args.trace in ("one_hour", "week"):
         return TraceSpec(
-            kind="one_hour",
+            kind=args.trace,
             service=args.service,
             rate_scale=args.rate_scale,
             duration_s=args.duration,
@@ -68,24 +72,11 @@ def _trace_spec(args, path: Optional[str] = None):
 
 
 def _headline_row(key: str, summary) -> dict:
-    table = summary.latency.percentile_table()
-    # Prefer the streaming collectors; fall back to post-hoc accounting
-    # for summaries produced without the default observer set.
-    carbon_kg = summary.carbon.total_kg if summary.carbon is not None else summary.carbon_kg()
-    cost_usd = summary.cost.total_usd if summary.cost is not None else summary.cost_usd()
-    return {
-        "scenario": key,
-        "energy_kwh": summary.energy_kwh,
-        "avg_servers": summary.average_servers,
-        "p50_ttft_s": table["ttft_s"][50],
-        "p99_ttft_s": table["ttft_s"][99],
-        "p99_tbt_s": table["tbt_s"][99],
-        "slo_attainment": summary.slo_attainment(),
-        "requests": summary.latency.count,
-        "carbon_kg": carbon_kg,
-        "cost_usd": cost_usd,
-        "pool_slo_attainment": summary.pool_slo_attainment,
-    }
+    # One flattening for the CLI table, --json output and the file
+    # sinks: anything added to summary_record shows up everywhere.
+    from repro.api import summary_record
+
+    return summary_record(key, summary)
 
 
 def _print_rows(rows: Sequence[dict]) -> None:
@@ -98,7 +89,7 @@ def _print_rows(rows: Sequence[dict]) -> None:
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['scenario']:48s} {row['energy_kwh']:9.3f} {row['avg_servers']:6.1f} "
+            f"{row['scenario']:48s} {row['energy_kwh']:9.3f} {row['average_servers']:6.1f} "
             f"{row['p50_ttft_s']:9.3f} {row['p99_ttft_s']:9.3f} {row['p99_tbt_s']:8.3f} "
             f"{row['slo_attainment']:6.3f} {row['requests']:7d} "
             f"{row['carbon_kg']:8.3f} {row['cost_usd']:9.2f}"
@@ -120,6 +111,8 @@ def cmd_run(args) -> int:
         static_servers=args.static_servers,
         max_servers=args.max_servers,
         model=args.model,
+        backend=args.backend,
+        fluid_bin_s=args.fluid_bin,
     )
     started = time.perf_counter()
     summary = run_scenario(scenario, lean=args.lean)
@@ -134,7 +127,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.api import run_grid, sweep
+    from repro.api import run_grid, sink_for_path, sweep
 
     policies = _names(args.policies)
     if not policies:
@@ -150,9 +143,33 @@ def cmd_sweep(args) -> int:
         accuracies=_floats(args.accuracies) if args.accuracies else (None,),
         pool_counts=_ints(args.pool_counts) if args.pool_counts else (None,),
         models=tuple(_names(args.models)) if args.models else (None,),
+        backends=(args.backend,),
     )
+    if args.fluid_bin is not None:
+        grid = grid.with_(fluid_bin_s=args.fluid_bin)
+    if args.out and args.json:
+        raise ValueError(
+            "--json and --out are mutually exclusive: with --out the "
+            "streamed file is the machine-readable output"
+        )
     print(f"running {len(grid)} scenarios (workers={args.workers}) ...", file=sys.stderr)
     started = time.perf_counter()
+    if args.out:
+        # Streamed mode: one record is flushed to the file per completed
+        # scenario; nothing is accumulated in memory.
+        sink = run_grid(
+            grid,
+            workers=args.workers,
+            lean=not args.timelines,
+            mode=args.mode,
+            sink=sink_for_path(args.out),
+        )
+        elapsed = time.perf_counter() - started
+        print(
+            f"{sink.count} results streamed to {args.out} in {elapsed:.1f}s wall-clock",
+            file=sys.stderr,
+        )
+        return 0
     summaries = run_grid(
         grid, workers=args.workers, lean=not args.timelines, mode=args.mode
     )
@@ -213,8 +230,20 @@ def cmd_bench(args) -> int:
 # ----------------------------------------------------------------------
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--trace", default="one_hour", choices=("one_hour", "poisson", "csv", "azure"),
-        help="trace family: synthetic (one_hour/poisson) or file replay (csv/azure)",
+        "--trace", default="one_hour",
+        choices=("one_hour", "poisson", "csv", "azure", "week"),
+        help="trace family: synthetic (one_hour/poisson), file replay "
+             "(csv/azure), or the week-long binned trace (fluid backend only)",
+    )
+    parser.add_argument(
+        "--backend", default="event", choices=("event", "fluid"),
+        help="simulator: per-request event engine (default) or the binned "
+             "fluid simulator the paper's large-scale figures use",
+    )
+    parser.add_argument(
+        "--fluid-bin", type=float, default=None, metavar="SECONDS",
+        help="bin width when the fluid backend bins a request-level trace "
+             "(default 300s)",
     )
     parser.add_argument("--trace-file", default=None, metavar="PATH",
                         help="trace file to replay (implies --trace csv unless azure)")
@@ -273,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--timelines", action="store_true",
                               help="record full timelines (slower)")
+    sweep_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="stream results to PATH (.jsonl or .csv), one "
+                                   "record per completed scenario, instead of "
+                                   "holding every summary in memory")
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(func=cmd_sweep)
 

@@ -3,12 +3,20 @@
 This layer replaces the monolithic ``run_policy_on_trace`` loop with
 three composable pieces:
 
-* :mod:`repro.api.scenario` — immutable :class:`Scenario` descriptions,
-  :class:`TraceSpec` recipes and the :func:`sweep` grid combinator;
-* :mod:`repro.api.engine` — the stepped :class:`SimulationEngine`
-  emitting typed events to pluggable :class:`Observer` collectors;
+* :mod:`repro.api.scenario` — immutable :class:`Scenario` descriptions
+  (including the simulation ``backend``), :class:`TraceSpec` recipes and
+  the :func:`sweep` grid combinator;
+* :mod:`repro.api.engine` — the stepped per-request
+  :class:`SimulationEngine` emitting typed events to pluggable
+  :class:`Observer` collectors;
+* :mod:`repro.api.fluid_engine` — the :class:`FluidEngine` adapter that
+  runs the binned fluid simulator behind the same stepped/observed
+  interface (``Scenario(backend="fluid")``);
 * :mod:`repro.api.executor` — :func:`runs` / :func:`run_grid` /
-  :func:`run_policies` with optional thread-parallel execution.
+  :func:`run_policies` with optional thread-parallel execution;
+* :mod:`repro.api.sinks` — streamed :class:`ResultSink` outputs
+  (:class:`JsonlSink` / :class:`CsvSink` / :class:`InMemorySink`) so
+  1000+-scenario sweeps flush results incrementally.
 
 Quickstart::
 
@@ -22,10 +30,32 @@ Quickstart::
     summaries = run_grid(grid, workers=4, lean=True)
     for key, summary in summaries.items():
         print(key, summary.energy_kwh)
+
+Streaming a week-long fluid sweep to disk::
+
+    from repro.api import JsonlSink, TraceSpec, run_grid, sweep
+
+    grid = sweep(
+        policies=("SinglePool", "DynamoLLM"),
+        traces=(TraceSpec(kind="week", service="conversation", rate_scale=40.0),),
+        backends=("fluid",),
+    )
+    run_grid(grid, sink=JsonlSink("results.jsonl"))
 """
 
 from repro.api.engine import SimulationEngine
 from repro.api.executor import run_grid, run_policies, run_scenario, runs
+from repro.api.fluid_engine import FluidEngine
+from repro.api.sinks import (
+    CsvSink,
+    InMemorySink,
+    JsonlSink,
+    ResultSink,
+    read_csv,
+    read_jsonl,
+    sink_for_path,
+    summary_record,
+)
 from repro.api.observers import (
     CarbonObserver,
     CostObserver,
@@ -44,18 +74,30 @@ from repro.api.observers import (
     TimelineObserver,
     default_observers,
 )
-from repro.api.scenario import Scenario, ScenarioGrid, TraceSpec, sweep
+from repro.api.scenario import BACKENDS, Scenario, ScenarioGrid, TraceSpec, sweep
+from repro.workload.traces import BinnedTrace
 
 __all__ = [
     "SimulationEngine",
+    "FluidEngine",
     "Scenario",
     "ScenarioGrid",
     "TraceSpec",
+    "BinnedTrace",
+    "BACKENDS",
     "sweep",
     "run_scenario",
     "runs",
     "run_grid",
     "run_policies",
+    "ResultSink",
+    "JsonlSink",
+    "CsvSink",
+    "InMemorySink",
+    "sink_for_path",
+    "summary_record",
+    "read_jsonl",
+    "read_csv",
     "Observer",
     "default_observers",
     "CarbonObserver",

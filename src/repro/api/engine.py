@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 from repro.api.observers import (
     EpochReconfigured,
     Observer,
+    ObserverDispatch,
     RequestRouted,
     RunFinished,
     RunStarted,
@@ -40,7 +41,7 @@ from repro.workload.predictor import OutputLengthPredictor
 from repro.workload.traces import Trace
 
 
-class SimulationEngine:
+class SimulationEngine(ObserverDispatch):
     """Run one policy over one request-level trace, step by step.
 
     Parameters
@@ -132,6 +133,7 @@ class SimulationEngine:
         self._horizon = trace.duration + self._dt
         self._drain_deadline = self._horizon + self.config.drain_timeout_s
         self.now = 0.0
+        self.reconfigurations = 0
         self._started = False
         self._finished = False
         # Per-hook dispatch lists, computed at start (see _listeners).
@@ -140,32 +142,10 @@ class SimulationEngine:
         self._step_listeners: List[Observer] = []
 
     # ------------------------------------------------------------------
-    # Observer plumbing
+    # Observer plumbing (dispatch machinery shared via ObserverDispatch)
     # ------------------------------------------------------------------
-    def add_observer(self, observer: Observer) -> "SimulationEngine":
-        """Attach one more observer (before :meth:`run` starts)."""
-        self.observers.append(observer)
-        return self
-
-    def _listeners(self, hook: str):
-        """Observers that actually override ``hook``.
-
-        Events are only constructed and dispatched for hooks somebody
-        listens to — per-request and per-epoch events are free when (as
-        in lean sweeps) no observer consumes them.
-        """
-        base = getattr(Observer, hook)
-        return [
-            observer
-            for observer in self.observers
-            if getattr(type(observer), hook, base) is not base
-        ]
-
-    def _emit(self, listeners, hook: str, event) -> None:
-        for observer in listeners:
-            getattr(observer, hook)(event)
-
     def _on_epoch(self, kind: str, now: float) -> None:
+        self.reconfigurations += 1
         if self._epoch_listeners:
             self._emit(
                 self._epoch_listeners,
@@ -272,6 +252,7 @@ class SimulationEngine:
             gpu_hours=self.cluster.gpu_hours,
             squashed_requests=self.policy.total_squashed(),
             routed_requests=self.policy.routed_requests,
+            reconfigurations=self.reconfigurations,
         )
         for observer in self.observers:
             observer.contribute(summary)

@@ -1,12 +1,14 @@
 """Scenario executors: serial and parallel sweep running.
 
 ``run_scenario`` runs one :class:`~repro.api.scenario.Scenario` on the
-:class:`~repro.api.engine.SimulationEngine`.  ``runs`` and ``run_grid``
-execute many scenarios, serially or on a ``concurrent.futures`` pool;
-results come back in input order (``runs``) or keyed by
-:attr:`Scenario.key` (``run_grid``) and are identical across execution
-modes (every engine owns its RNG streams, and parallel thread runs get
-private copies of shared request objects).
+engine its ``backend`` selects (the per-request
+:class:`~repro.api.engine.SimulationEngine` or the binned
+:class:`~repro.api.fluid_engine.FluidEngine`).  ``runs`` and
+``run_grid`` execute many scenarios, serially or on a
+``concurrent.futures`` pool; results come back in input order
+(``runs``) or keyed by :attr:`Scenario.key` (``run_grid``) and are
+identical across execution modes (every engine owns its RNG streams,
+and parallel thread runs get private copies of shared request objects).
 
 Two parallel modes:
 
@@ -18,6 +20,12 @@ Two parallel modes:
   everything in-tree) and each worker pays a fork/spawn cost, so prefer
   it when individual scenarios run for seconds, not milliseconds.
 
+Passing ``sink=`` (a :class:`~repro.api.sinks.ResultSink`) switches the
+executors to *streaming* mode: each summary is handed to the sink as it
+completes — in input order serially, in completion order on pools — and
+is **not** accumulated, so a 1000+-scenario sweep holds one summary at
+a time.  The executor returns the sink itself in that case.
+
 ``run_policies`` is the engine-backed successor of the legacy
 ``run_all_policies``: it runs several policies over one trace with a
 shared static-server budget — computed into a local copy of the config,
@@ -28,17 +36,35 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.engine import SimulationEngine
+from repro.api.fluid_engine import FluidEngine
 from repro.api.scenario import Scenario, ScenarioGrid
+from repro.api.sinks import ResultSink
 from repro.metrics.summary import RunSummary
 from repro.policies.base import PolicySpec
-from repro.workload.traces import Trace
+from repro.workload.traces import BinnedTrace, Trace
 
-#: (scenario, trace, config, load_fractions, warm_loads)
-_Job = Tuple[Scenario, Trace, object, dict, dict]
+
+@dataclasses.dataclass
+class _Job:
+    """One scenario with its shared inputs materialised.
+
+    Event-backend jobs carry the built request-level trace plus the
+    cached capacity-planning maps; fluid-backend jobs carry the binned
+    trace and the cached per-bucket static budgets.
+    """
+
+    scenario: Scenario
+    config: object  # resolved ExperimentConfig
+    trace: Optional[Trace] = None
+    fractions: Optional[dict] = None
+    warm_loads: Optional[dict] = None
+    bins: Optional[list] = None
+    trace_name: Optional[str] = None
+    fine_budgets: Optional[dict] = None
 
 
 def run_scenario(
@@ -53,6 +79,24 @@ def run_scenario(
     already materialised (and can share) the trace.
     """
     config = scenario.resolved_config()
+    if scenario.backend == "fluid":
+        # An explicit ``trace`` is used as-is (FluidEngine accepts a
+        # Trace, BinnedTrace or raw TraceBin sequence); only a TraceSpec
+        # carried by the scenario itself needs materialising here.
+        source = trace if trace is not None else scenario.trace
+        if trace is None and not isinstance(source, (Trace, BinnedTrace)):
+            source = scenario.build_bins()
+        engine = FluidEngine(
+            scenario.policy_spec(),
+            source,
+            config,
+            observers=observers,
+            lean=lean,
+            # A caller-supplied trace names itself; the scenario's key
+            # would mislabel it.
+            trace_name=None if trace is not None else scenario.trace_key,
+        )
+        return engine.run()
     trace = trace if trace is not None else scenario.build_trace()
     engine = SimulationEngine(
         scenario.policy_spec(), trace, config, observers=observers, lean=lean
@@ -63,31 +107,75 @@ def run_scenario(
 def _prepared(scenarios: Sequence[Scenario]) -> List[_Job]:
     """Materialise shared inputs once: traces, profiles, capacity planning.
 
-    Grid members sharing a trace reuse one built ``Trace``; the static
-    server budget (trace x profile) and the per-pool load fractions /
-    warm loads (trace x scheme) are each computed once instead of per
-    scenario.  Doing this serially up front also keeps worker threads
-    free of shared lazy caches, so parallel execution is deterministic
-    and does no duplicated work.
+    Grid members sharing a trace reuse one built ``Trace`` (or, on the
+    fluid backend, one binned trace and one set of per-bucket static
+    budgets); the static server budget (trace x profile) and the
+    per-pool load fractions / warm loads (trace x scheme) are each
+    computed once instead of per scenario.  Doing this serially up front
+    also keeps worker threads free of shared lazy caches, so parallel
+    execution is deterministic and does no duplicated work.
     """
+    from repro.experiments.fluid import FluidRunner
     from repro.experiments.runner import (
         load_fractions_from_trace,
         pool_loads_from_trace,
         resolve_static_servers,
     )
+    from repro.workload.classification import DEFAULT_SCHEME
 
     traces: Dict[object, Trace] = {}
-    static_cache: Dict[Tuple[object, int], int] = {}
-    capacity_cache: Dict[Tuple[object, str], Tuple[dict, dict]] = {}
+    bins_cache: Dict[object, tuple] = {}
+    static_cache: Dict[object, int] = {}
+    budget_cache: Dict[object, dict] = {}
+    capacity_cache: Dict[object, tuple] = {}
     jobs: List[_Job] = []
     for scenario in scenarios:
-        key = id(scenario.trace) if isinstance(scenario.trace, Trace) else scenario.trace
-        if key not in traces:
-            traces[key] = scenario.build_trace()
-        trace = traces[key]
+        shareable = isinstance(scenario.trace, (Trace, BinnedTrace))
+        key = id(scenario.trace) if shareable else scenario.trace
         config = scenario.resolved_config()
         if config.profile is None:
             config = dataclasses.replace(config, profile=config.resolved_profile())
+
+        if scenario.backend == "fluid":
+            from repro.api.scenario import BINNED_TRACE_KINDS
+            from repro.workload.traces import bin_trace
+
+            bins_key = (key, config.fluid_bin_s)
+            if bins_key not in bins_cache:
+                if isinstance(scenario.trace, BinnedTrace) or (
+                    getattr(scenario.trace, "kind", None) in BINNED_TRACE_KINDS
+                ):
+                    bins = scenario.build_bins(config.fluid_bin_s)
+                else:
+                    # Request-level trace: share one built Trace with
+                    # any event-backend members of the same grid, then
+                    # bin it — mixed-backend grids build it once.
+                    if key not in traces:
+                        traces[key] = scenario.build_trace()
+                    bins = bin_trace(traces[key], config.fluid_bin_s)
+                bins_cache[bins_key] = (bins, scenario.trace_key)
+            bins, trace_name = bins_cache[bins_key]
+            scheme = config.scheme or DEFAULT_SCHEME
+            budget_key = (bins_key, id(config.profile), scheme.name)
+            if budget_key not in budget_cache:
+                runner = FluidRunner(
+                    model=config.model, scheme=scheme, profile=config.profile
+                )
+                budget_cache[budget_key] = runner.static_budgets(bins)
+            jobs.append(
+                _Job(
+                    scenario=scenario,
+                    config=config,
+                    bins=bins,
+                    trace_name=trace_name,
+                    fine_budgets=budget_cache[budget_key],
+                )
+            )
+            continue
+
+        if key not in traces:
+            traces[key] = scenario.build_trace()
+        trace = traces[key]
         if config.static_servers is None:
             static_key = (key, id(config.profile))
             if static_key not in static_cache:
@@ -105,12 +193,33 @@ def _prepared(scenarios: Sequence[Scenario]) -> List[_Job]:
                 pool_loads_from_trace(trace, scheme),
             )
         fractions, warm_loads = capacity_cache[capacity_key]
-        jobs.append((scenario, trace, config, fractions, warm_loads))
+        jobs.append(
+            _Job(
+                scenario=scenario,
+                config=config,
+                trace=trace,
+                fractions=fractions,
+                warm_loads=warm_loads,
+            )
+        )
     return jobs
 
 
 def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
-    scenario, trace, config, fractions, warm_loads = job
+    scenario = job.scenario
+    if scenario.backend == "fluid":
+        # Fluid jobs only read their (shared) bins — no isolation needed.
+        engine = FluidEngine(
+            scenario.policy_spec(),
+            job.bins,
+            job.config,
+            lean=lean,
+            fine_budgets=job.fine_budgets,
+            trace_name=job.trace_name,
+        )
+        summary = engine.run()
+        return summary.compact() if lean else summary
+    trace = job.trace
     if isolate:
         # Thread-parallel runs share Request objects across engines, and
         # the cluster manager writes `request.predicted_type`; give each
@@ -121,10 +230,10 @@ def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
     engine = SimulationEngine(
         scenario.policy_spec(),
         trace,
-        config,
+        job.config,
         lean=lean,
-        load_fractions=fractions,
-        warm_loads=warm_loads,
+        load_fractions=job.fractions,
+        warm_loads=job.warm_loads,
     )
     summary = engine.run()
     # Lean sweeps only consume summary statistics; condense the
@@ -135,18 +244,56 @@ def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
     return summary.compact() if lean else summary
 
 
+def _pool_for(mode: str, workers: int):
+    if mode == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    if mode == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    raise ValueError(f"unknown executor mode {mode!r}; use 'thread' or 'process'")
+
+
 def _execute(jobs: List[_Job], workers: Optional[int], lean: bool, mode: str) -> List[RunSummary]:
     if not workers or workers <= 1:
         return [_run_job(job, lean) for job in jobs]
-    if mode == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_job, job, lean, True) for job in jobs]
-            return [future.result() for future in futures]
-    if mode == "process":
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_job, job, lean) for job in jobs]
-            return [future.result() for future in futures]
-    raise ValueError(f"unknown executor mode {mode!r}; use 'thread' or 'process'")
+    with _pool_for(mode, workers) as pool:
+        isolate = mode == "thread"
+        futures = [pool.submit(_run_job, job, lean, isolate) for job in jobs]
+        return [future.result() for future in futures]
+
+
+def _stream(
+    jobs: List[_Job],
+    keys: Sequence[str],
+    workers: Optional[int],
+    lean: bool,
+    mode: str,
+    sink: ResultSink,
+) -> None:
+    """Run jobs and hand each summary to the sink as it completes.
+
+    Summaries are never accumulated: serially they arrive in input
+    order; on a pool, in completion order (every record names its
+    scenario, so order carries no information).  The sink is opened
+    before the first result and closed afterwards, also on error.
+    """
+    with sink:
+        if not workers or workers <= 1:
+            for key, job in zip(keys, jobs):
+                sink.write(key, _run_job(job, lean))
+            return
+        with _pool_for(mode, workers) as pool:
+            isolate = mode == "thread"
+            futures = {
+                pool.submit(_run_job, job, lean, isolate): key
+                for key, job in zip(keys, jobs)
+            }
+            # as_completed snapshots the future set up front, so popping
+            # entries while iterating is safe — and necessary: holding
+            # the dict until the loop ends would keep every completed
+            # summary alive, defeating the sink's memory bound.
+            for future in as_completed(futures):
+                key = futures.pop(future)
+                sink.write(key, future.result())
 
 
 def runs(
@@ -154,7 +301,8 @@ def runs(
     workers: Optional[int] = None,
     lean: bool = False,
     mode: str = "thread",
-) -> List[RunSummary]:
+    sink: Optional[ResultSink] = None,
+) -> Union[List[RunSummary], ResultSink]:
     """Run many scenarios, returning summaries in input order.
 
     ``workers`` > 1 executes scenarios on a thread or process pool (see
@@ -163,8 +311,17 @@ def runs(
     additionally returns *compact* summaries (condensed latency arrays
     instead of per-request outcome objects — identical derived metrics,
     far cheaper to transfer from process pools).
+
+    With ``sink`` set, every summary is written to the sink as it
+    completes (keyed by :attr:`Scenario.key`) instead of being
+    accumulated, and the sink itself is returned.
     """
-    return _execute(_prepared(list(scenarios)), workers, lean, mode)
+    scenarios = list(scenarios)
+    jobs = _prepared(scenarios)
+    if sink is None:
+        return _execute(jobs, workers, lean, mode)
+    _stream(jobs, [s.key for s in scenarios], workers, lean, mode, sink)
+    return sink
 
 
 def run_grid(
@@ -172,33 +329,52 @@ def run_grid(
     workers: Optional[int] = None,
     lean: bool = False,
     mode: str = "thread",
-) -> Dict[str, RunSummary]:
-    """Run a scenario grid; summaries are keyed by :attr:`Scenario.key`."""
+    sink: Optional[ResultSink] = None,
+) -> Union[Dict[str, RunSummary], ResultSink]:
+    """Run a scenario grid; summaries are keyed by :attr:`Scenario.key`.
+
+    With ``sink`` set, results stream into the sink as they complete
+    (nothing is accumulated) and the sink is returned.
+    """
     if not isinstance(grid, ScenarioGrid):
         grid = ScenarioGrid(grid)
+    if sink is not None:
+        return runs(grid, workers=workers, lean=lean, mode=mode, sink=sink)
     summaries = runs(grid, workers=workers, lean=lean, mode=mode)
     return {scenario.key: summary for scenario, summary in zip(grid, summaries)}
 
 
 def run_policies(
-    trace: Trace,
+    trace: Union[Trace, BinnedTrace],
     specs: Iterable[PolicySpec],
     config=None,
     workers: Optional[int] = None,
     lean: bool = False,
     mode: str = "thread",
-) -> Dict[str, RunSummary]:
+    backend: str = "event",
+    sink: Optional[ResultSink] = None,
+) -> Union[Dict[str, RunSummary], ResultSink]:
     """Run several policies on one trace with a shared static budget.
 
     The static server budget is computed once from the trace (9-pool
     peak accounting, as the paper provisions every baseline with the
     same peak-capable cluster) and applied through a *copy* of the
-    config — the caller's ``ExperimentConfig`` is never mutated.
+    config — the caller's ``ExperimentConfig`` is never mutated.  On the
+    fluid backend (``backend="fluid"``, required for pre-binned traces)
+    the budget sizing happens inside the fluid runner from the binned
+    peaks instead.
+
+    With ``sink`` set, summaries stream into the sink keyed by policy
+    name and the sink is returned.
     """
     from repro.experiments.runner import ExperimentConfig, recommended_static_servers
 
     config = config or ExperimentConfig()
-    if config.static_servers is None:
+    if (
+        backend == "event"
+        and config.static_servers is None
+        and isinstance(trace, Trace)
+    ):
         from repro.workload.classification import DEFAULT_SCHEME
 
         profile = config.resolved_profile()
@@ -208,7 +384,12 @@ def run_policies(
         config = dataclasses.replace(config, static_servers=budget)
     specs = list(specs)
     scenarios = [
-        Scenario(policy=spec, trace=trace, base_config=config) for spec in specs
+        Scenario(policy=spec, trace=trace, backend=backend, base_config=config)
+        for spec in specs
     ]
+    if sink is not None:
+        jobs = _prepared(scenarios)
+        _stream(jobs, [spec.name for spec in specs], workers, lean, mode, sink)
+        return sink
     summaries = runs(scenarios, workers=workers, lean=lean, mode=mode)
     return {spec.name: summary for spec, summary in zip(specs, summaries)}

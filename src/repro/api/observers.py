@@ -1,6 +1,8 @@
 """Typed simulation events and the pluggable observer protocol.
 
-The :class:`~repro.api.engine.SimulationEngine` emits one event object
+Both simulation backends — the per-request
+:class:`~repro.api.engine.SimulationEngine` and the binned
+:class:`~repro.api.fluid_engine.FluidEngine` — emit one event object
 per occurrence to every attached :class:`Observer`:
 
 * :class:`RunStarted` — once, before the first step;
@@ -10,6 +12,16 @@ per occurrence to every attached :class:`Observer`:
 * :class:`StepCompleted` — once per simulation step, carrying the
   cluster's :class:`~repro.cluster.cluster.StepStats` and the policy;
 * :class:`RunFinished` — once, after the loop exits.
+
+On the fluid backend a "step" is one trace bin, ``StepCompleted.stats``
+is a duck-typed :class:`~repro.experiments.fluid.FluidStepStats`
+(``outcomes`` always empty — the fluid simulator tracks no individual
+requests), no :class:`RequestRouted` events fire, and the ``policy`` /
+``cluster`` payloads of :class:`RunStarted` / :class:`StepCompleted` /
+:class:`RunFinished` are ``None`` — observers relying on the live
+controller must tolerate that (see :class:`TimelineObserver`).  The
+summary observers below consume only the shared stats fields, which is
+why the default set works unmodified against both backends.
 
 Observers are independent, composable metric collectors: the engine's
 default set reproduces exactly what the legacy monolithic runner
@@ -46,7 +58,7 @@ class RunStarted:
     time: float
     policy_name: str
     trace_name: str
-    policy: Any  # the live DynamoLLM controller
+    policy: Any  # the live DynamoLLM controller (None on the fluid backend)
     config: Any  # the resolved ExperimentConfig
 
 
@@ -72,8 +84,8 @@ class StepCompleted:
 
     time: float
     dt: float
-    stats: Any  # repro.cluster.cluster.StepStats
-    policy: Any  # the live DynamoLLM controller
+    stats: Any  # cluster StepStats (FluidStepStats on the fluid backend)
+    policy: Any  # the live DynamoLLM controller (None on the fluid backend)
 
 
 @dataclass(frozen=True)
@@ -81,7 +93,7 @@ class RunFinished:
     """Emitted once after the simulation loop exits."""
 
     time: float
-    cluster: Any  # the GPUCluster, for end-of-run totals
+    cluster: Any  # the GPUCluster, for end-of-run totals (None on fluid)
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +128,37 @@ class Observer:
 
     def contribute(self, summary: RunSummary) -> None:  # pragma: no cover - hook
         """Write this observer's results onto the run summary."""
+
+
+class ObserverDispatch:
+    """Shared event-dispatch machinery for the simulation engines.
+
+    Both engines attach observers and emit events through this mixin.
+    Events are only constructed and dispatched for hooks somebody
+    actually overrides (:meth:`_listeners` filters on overridden
+    methods), so per-request and per-epoch events cost nothing when — as
+    in lean sweeps — no observer consumes them.
+    """
+
+    observers: List["Observer"]
+
+    def add_observer(self, observer: "Observer"):
+        """Attach one more observer (before the run starts)."""
+        self.observers.append(observer)
+        return self
+
+    def _listeners(self, hook: str):
+        """Observers that actually override ``hook``."""
+        base = getattr(Observer, hook)
+        return [
+            observer
+            for observer in self.observers
+            if getattr(type(observer), hook, base) is not base
+        ]
+
+    def _emit(self, listeners, hook: str, event) -> None:
+        for observer in listeners:
+            getattr(observer, hook)(event)
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +249,8 @@ class TimelineObserver(Observer):
             self.pool_frequency_timeline.setdefault(pool, []).append((now, freq))
         for pool, tp_map in stats.pool_gpus_by_tp.items():
             self.pool_gpus_by_tp_timeline.setdefault(pool, []).append((now, dict(tp_map)))
+        if event.policy is None:  # fluid backend: no live controller
+            return
         for pool, state in event.policy.cluster_manager.pools.items():
             self.pool_load_timeline.setdefault(pool, []).append((now, state.load_ema_tps))
 

@@ -23,19 +23,26 @@ from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 from repro.llm.catalog import ModelSpec, get_model
 from repro.policies.base import PolicySpec, get_policy_spec
 from repro.workload.slo import SLOPolicy
-from repro.workload.traces import Trace
+from repro.workload.traces import BinnedTrace, Trace, TraceBin, bin_trace
 
 
 # ----------------------------------------------------------------------
 # Trace specification
 # ----------------------------------------------------------------------
-#: Request-level trace families the spec can materialise.  The first two
-#: are synthetic (today's generators); ``csv`` and ``azure`` replay
-#: recorded invocation traces from disk.
-TRACE_KINDS = ("one_hour", "poisson", "csv", "azure")
+#: Trace families the spec can materialise.  ``one_hour`` and ``poisson``
+#: are synthetic request-level generators; ``csv`` and ``azure`` replay
+#: recorded invocation traces from disk; ``week`` is the synthetic
+#: week-long *binned* trace (fluid backend only — no request level).
+TRACE_KINDS = ("one_hour", "poisson", "csv", "azure", "week")
 
 #: Kinds that replay a trace file rather than synthesising one.
 FILE_TRACE_KINDS = ("csv", "azure")
+
+#: Kinds that only exist in binned form (usable with ``backend="fluid"``).
+BINNED_TRACE_KINDS = ("week",)
+
+#: Simulation backends a :class:`Scenario` can select.
+BACKENDS = ("event", "fluid")
 
 
 @dataclass(frozen=True)
@@ -54,6 +61,12 @@ class TraceSpec:
     process, and grid executors additionally share the built trace across
     scenarios (see :func:`repro.api.executor.run_grid`), so a sweep over
     one trace file reads it once.
+
+    ``kind="week"`` builds the week-long synthetic service trace the
+    paper's Figures 14-16 run on.  It is generated directly in binned
+    form (no request level exists), so it can only be simulated with
+    ``Scenario(backend="fluid")``; :meth:`build` raises and
+    :meth:`build_bins` is the materialiser.
     """
 
     kind: str = "one_hour"
@@ -77,7 +90,13 @@ class TraceSpec:
             raise ValueError("resample must be positive")
 
     def build(self) -> Trace:
-        """Materialise the described trace."""
+        """Materialise the described trace at request level."""
+        if self.kind in BINNED_TRACE_KINDS:
+            raise ValueError(
+                f"TraceSpec(kind={self.kind!r}) only exists in binned form; "
+                "simulate it with Scenario(backend='fluid') (build_bins), "
+                "not the request-level event backend"
+            )
         if self.kind == "one_hour":
             from repro.workload.synthetic import make_one_hour_trace
 
@@ -115,10 +134,31 @@ class TraceSpec:
         generator = PoissonArrivalGenerator(seed=self.seed)
         return generator.generate(scaled, self.duration_s or 1800.0)
 
+    def build_bins(self, bin_seconds: float = 300.0) -> List[TraceBin]:
+        """Materialise the described trace in binned form (fluid backend).
+
+        Binned-only kinds (``week``) generate their bins directly; every
+        other kind builds the request-level trace and aggregates it into
+        ``bin_seconds``-wide bins.
+        """
+        if self.kind == "week":
+            from repro.workload.synthetic import make_week_trace
+
+            bins = make_week_trace(
+                self.service,
+                seed=self.seed,
+                rate_scale=self.rate_scale,
+                bin_seconds=bin_seconds,
+            )
+            if self.duration_s is not None:
+                bins = _clip_bins(bins, self.duration_s)
+            return bins
+        return bin_trace(self.build(), bin_seconds)
+
     @property
     def key(self) -> str:
         """Compact unique identifier for grid/result addressing."""
-        if self.kind == "one_hour":
+        if self.kind in ("one_hour", "week"):
             parts = [self.service, f"x{self.rate_scale:g}", f"s{self.seed}"]
         elif self.kind in FILE_TRACE_KINDS:
             import hashlib
@@ -143,6 +183,54 @@ class TraceSpec:
         return dataclasses.replace(self, **changes)
 
 
+def _clip_bins(bins, duration_s: float):
+    """Clip a binned trace to ``duration_s``, like request-level clipping.
+
+    A bin straddling the cut is truncated: its duration becomes the
+    remaining window and its aggregates scale by the kept fraction, so
+    the offered *rate* is unchanged while the simulated horizon (and
+    hence energy) honours the requested duration exactly.  The per-type
+    maps are scaled first and the totals derived from them (splitting
+    tokens by the bin's original prompt share), so the truncated bin
+    stays internally consistent — independent rounding could otherwise
+    zero a type map while the totals still report load.
+    """
+    clipped = []
+    for b in bins:
+        if b.start_time >= duration_s:
+            break
+        if b.start_time + b.duration <= duration_s:
+            clipped.append(b)
+            continue
+        fraction = (duration_s - b.start_time) / b.duration
+        tokens_by_type = {
+            k: int(round(v * fraction)) for k, v in b.tokens_by_type.items()
+        }
+        tokens_by_type = {k: v for k, v in tokens_by_type.items() if v > 0}
+        count_by_type = {
+            k: max(1, int(round(v * fraction)))
+            for k, v in b.count_by_type.items()
+            if k in tokens_by_type
+        }
+        total_tokens = sum(tokens_by_type.values())
+        prompt_share = (
+            b.input_tokens / b.total_tokens if b.total_tokens > 0 else 0.0
+        )
+        input_tokens = int(round(total_tokens * prompt_share))
+        clipped.append(
+            TraceBin(
+                start_time=b.start_time,
+                duration=duration_s - b.start_time,
+                request_count=sum(count_by_type.values()),
+                input_tokens=input_tokens,
+                output_tokens=total_tokens - input_tokens,
+                count_by_type=count_by_type,
+                tokens_by_type=tokens_by_type,
+            )
+        )
+    return clipped
+
+
 # ----------------------------------------------------------------------
 # Scenario
 # ----------------------------------------------------------------------
@@ -154,10 +242,19 @@ class Scenario:
     be set; ``None`` means "inherit from ``base_config``".  The optional
     ``base_config`` carries everything else (profile, epochs, drain
     timeout, ...) and is shared, not copied, across grid members.
+
+    ``backend`` selects the simulator: ``"event"`` (default) runs the
+    per-request :class:`~repro.api.engine.SimulationEngine`; ``"fluid"``
+    runs the binned :class:`~repro.api.fluid_engine.FluidEngine`, which
+    wraps the discrete-time fluid simulator the paper's large-scale
+    results use — hours-long traces in milliseconds, at the cost of
+    request-level latency fidelity (fluid summaries carry no latency
+    percentiles).  ``fluid_bin_s`` overrides the bin width used when the
+    fluid backend has to bin a request-level trace itself.
     """
 
     policy: Union[str, PolicySpec] = "DynamoLLM"
-    trace: Union[TraceSpec, Trace] = TraceSpec()
+    trace: Union[TraceSpec, Trace, BinnedTrace] = TraceSpec()
     slo_scale: Optional[float] = None
     predictor_accuracy: Optional[float] = None
     pool_count: Optional[int] = None
@@ -165,8 +262,45 @@ class Scenario:
     max_servers: Optional[int] = None
     time_step_s: Optional[float] = None
     model: Optional[Union[str, ModelSpec]] = None
+    backend: str = "event"
+    fluid_bin_s: Optional[float] = None
     label: Optional[str] = None
     base_config: Optional[object] = None  # ExperimentConfig
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known backends: "
+                f"{', '.join(BACKENDS)}"
+            )
+        if self.backend == "fluid":
+            # The fluid simulator has no request level: budgets come from
+            # binned peaks and there is no predictor, SLO evaluation or
+            # time step.  Silently dropping these dimensions would yield
+            # distinct-keyed scenarios with identical results (or corrupt
+            # cross-backend comparisons), so reject them up front.
+            # pool_count and model DO affect the fluid simulation and
+            # stay sweepable.
+            ignored = {
+                "static_servers": self.static_servers,
+                "max_servers": self.max_servers,
+                "slo_scale": self.slo_scale,
+                "predictor_accuracy": self.predictor_accuracy,
+                "time_step_s": self.time_step_s,
+            }
+            set_fields = [name for name, value in ignored.items() if value is not None]
+            if set_fields:
+                raise ValueError(
+                    f"{'/'.join(set_fields)} are event-backend dimensions "
+                    "the fluid simulator cannot honour; sweep them with "
+                    "backend='event' (fluid budgets come from binned trace "
+                    "peaks — pass static_budgets= to FluidEngine to pin them)"
+                )
+        elif self.fluid_bin_s is not None:
+            raise ValueError(
+                "fluid_bin_s only applies to backend='fluid'; the event "
+                "backend simulates individual requests, not bins"
+            )
 
     # ------------------------------------------------------------------
     def policy_spec(self) -> PolicySpec:
@@ -179,12 +313,36 @@ class Scenario:
         return self.policy.name if isinstance(self.policy, PolicySpec) else self.policy
 
     def build_trace(self) -> Trace:
-        """The trace to serve: built from the spec, or passed through."""
+        """The request-level trace to serve: built from the spec, or passed through."""
+        if isinstance(self.trace, BinnedTrace):
+            raise ValueError(
+                "this scenario carries a pre-binned trace, which only the "
+                "fluid backend can simulate — use Scenario(backend='fluid')"
+            )
         return self.trace if isinstance(self.trace, Trace) else self.trace.build()
+
+    def build_bins(self, bin_seconds: Optional[float] = None) -> List[TraceBin]:
+        """The binned trace the fluid backend simulates.
+
+        Pre-binned traces pass through unchanged; request-level traces
+        and specs are aggregated into ``bin_seconds``-wide bins
+        (default: ``fluid_bin_s`` override, else the config's).
+        """
+        if isinstance(self.trace, BinnedTrace):
+            return self.trace.bins
+        if bin_seconds is None:
+            bin_seconds = self.fluid_bin_s
+        if bin_seconds is None:
+            bin_seconds = self.resolved_config().fluid_bin_s
+        if isinstance(self.trace, Trace):
+            return bin_trace(self.trace, bin_seconds)
+        return self.trace.build_bins(bin_seconds)
 
     @property
     def trace_key(self) -> str:
-        return self.trace.name if isinstance(self.trace, Trace) else self.trace.key
+        if isinstance(self.trace, (Trace, BinnedTrace)):
+            return self.trace.name
+        return self.trace.key
 
     def model_spec(self) -> Optional[ModelSpec]:
         if self.model is None or isinstance(self.model, ModelSpec):
@@ -215,6 +373,8 @@ class Scenario:
             changes["max_servers"] = self.max_servers
         if self.time_step_s is not None:
             changes["time_step_s"] = self.time_step_s
+        if self.fluid_bin_s is not None:
+            changes["fluid_bin_s"] = self.fluid_bin_s
         return dataclasses.replace(base, **changes) if changes else base
 
     # ------------------------------------------------------------------
@@ -231,6 +391,10 @@ class Scenario:
             parts.append(f"acc{self.predictor_accuracy:g}")
         if self.pool_count is not None:
             parts.append(f"pools{self.pool_count}")
+        if self.fluid_bin_s is not None:
+            parts.append(f"bin{self.fluid_bin_s:g}")
+        if self.backend != "event":
+            parts.append(self.backend)
         if self.label:
             parts.append(self.label)
         return "/".join(parts)
@@ -297,19 +461,20 @@ class ScenarioGrid:
 
 def sweep(
     policies: Sequence[Union[str, PolicySpec]] = ("DynamoLLM",),
-    traces: Sequence[Union[TraceSpec, Trace]] = (TraceSpec(),),
+    traces: Sequence[Union[TraceSpec, Trace, BinnedTrace]] = (TraceSpec(),),
     slo_scales: Sequence[Optional[float]] = (None,),
     accuracies: Sequence[Optional[float]] = (None,),
     pool_counts: Sequence[Optional[int]] = (None,),
     models: Sequence[Optional[Union[str, ModelSpec]]] = (None,),
+    backends: Sequence[str] = ("event",),
     base_config=None,
 ) -> ScenarioGrid:
     """Cartesian product over the paper's sweep dimensions.
 
     Every combination of policy x trace x SLO scale x predictor accuracy
-    x pool count x model becomes one :class:`Scenario`.  Dimensions left
-    at their defaults contribute a single ``None`` (inherit) entry and do
-    not appear in the scenario keys.
+    x pool count x model x backend becomes one :class:`Scenario`.
+    Dimensions left at their defaults contribute a single ``None``
+    (inherit) entry and do not appear in the scenario keys.
     """
     scenarios = [
         Scenario(
@@ -319,10 +484,11 @@ def sweep(
             predictor_accuracy=accuracy,
             pool_count=pool_count,
             model=model,
+            backend=backend,
             base_config=base_config,
         )
-        for policy, trace, slo_scale, accuracy, pool_count, model in itertools.product(
-            policies, traces, slo_scales, accuracies, pool_counts, models
+        for policy, trace, slo_scale, accuracy, pool_count, model, backend in itertools.product(
+            policies, traces, slo_scales, accuracies, pool_counts, models, backends
         )
     ]
     return ScenarioGrid(scenarios)

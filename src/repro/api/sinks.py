@@ -1,0 +1,235 @@
+"""Streamed result sinks for large scenario sweeps.
+
+A 1000+-scenario grid should not hold every
+:class:`~repro.metrics.summary.RunSummary` in memory until the sweep
+ends.  A :class:`ResultSink` receives each summary *as it completes*:
+the executors (:func:`repro.api.executor.runs` /
+:func:`~repro.api.executor.run_grid` /
+:func:`~repro.api.executor.run_policies`) and the CLI
+(``python -m repro sweep --out results.jsonl``) thread one through and
+flush results incrementally instead of accumulating them.
+
+Three built-in sinks:
+
+* :class:`JsonlSink` — one JSON object per line, flushed per result.
+  Crash-safe for long sweeps (every completed scenario is already on
+  disk) and trivially streamable (``tail -f results.jsonl``).
+* :class:`CsvSink` — one row per result; nested values (the per-pool
+  attainment map) are JSON-encoded into their cell.
+* :class:`InMemorySink` — keeps summaries keyed like ``run_grid``; the
+  in-process default the streaming paths are measured against.
+
+Every record is a flat :func:`summary_record` dict, so files written by
+either file sink round-trip through :func:`read_jsonl` /
+:func:`read_csv` (pinned by the property suite).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, IO, List, Optional
+
+from repro.metrics.summary import RunSummary
+
+
+def summary_record(key: str, summary: RunSummary) -> Dict[str, object]:
+    """Flatten one run summary into a JSON/CSV-serialisable record.
+
+    The scoreboard fields come from :meth:`RunSummary.headline` (the one
+    flattening of a summary — fields added there reach every sink and
+    the CLI automatically); this wraps them with identity columns and
+    the streaming carbon/cost totals (post-hoc accounting is the
+    fallback for summaries produced without the default observer set).
+    """
+    record: Dict[str, object] = {
+        "scenario": key,
+        "policy": summary.policy,
+        "trace": summary.trace,
+        "duration_s": summary.duration_s,
+    }
+    record.update(summary.headline())
+    # headline() reports counters as floats for its numeric scoreboard;
+    # records keep them as the integers they are.
+    record["requests"] = int(record["requests"])
+    record["squashed"] = int(record["squashed"])
+    record["reconfigurations"] = summary.reconfigurations
+    record["carbon_kg"] = (
+        summary.carbon.total_kg if summary.carbon is not None else summary.carbon_kg()
+    )
+    record["cost_usd"] = (
+        summary.cost.total_usd if summary.cost is not None else summary.cost_usd()
+    )
+    record["pool_slo_attainment"] = dict(summary.pool_slo_attainment)
+    return record
+
+
+class ResultSink:
+    """Receives one result at a time from a sweep executor.
+
+    Subclasses implement :meth:`write`; :meth:`open` / :meth:`close`
+    bracket the sweep (the executors call them via the context-manager
+    protocol, so sinks are usable in ``with`` blocks directly).
+    """
+
+    def open(self) -> None:  # pragma: no cover - hook
+        """Called once before the first result."""
+
+    def write(self, key: str, summary: RunSummary) -> None:
+        """Called once per completed scenario, in completion order."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - hook
+        """Called once after the last result (also on error)."""
+
+    def __enter__(self) -> "ResultSink":
+        self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemorySink(ResultSink):
+    """Accumulates summaries in memory, keyed like ``run_grid`` results."""
+
+    def __init__(self) -> None:
+        self.results: Dict[str, RunSummary] = {}
+
+    def write(self, key: str, summary: RunSummary) -> None:
+        self.results[key] = summary
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class JsonlSink(ResultSink):
+    """Appends one JSON line per result, flushed as soon as it completes."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.count = 0
+        self._handle: Optional[IO[str]] = None
+        self._opened_once = False
+
+    def open(self) -> None:
+        if self._handle is None:
+            # First open truncates; reuse across sweeps appends, so
+            # `count` always matches the file's line count.
+            self._handle = open(
+                self.path, "a" if self._opened_once else "w", encoding="utf-8"
+            )
+            self._opened_once = True
+
+    def write(self, key: str, summary: RunSummary) -> None:
+        if self._handle is None:
+            self.open()
+        self._handle.write(json.dumps(summary_record(key, summary)) + "\n")
+        self._handle.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CsvSink(ResultSink):
+    """Appends one CSV row per result; nested values are JSON-encoded.
+
+    The header is taken from the first record (all records share the
+    :func:`summary_record` schema).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.count = 0
+        self._handle: Optional[IO[str]] = None
+        self._writer = None
+        self._opened_once = False
+
+    def open(self) -> None:
+        if self._handle is None:
+            # First open truncates and writes the header; reuse appends.
+            self._handle = open(
+                self.path, "a" if self._opened_once else "w",
+                newline="", encoding="utf-8",
+            )
+            self._opened_once = True
+
+    def write(self, key: str, summary: RunSummary) -> None:
+        if self._handle is None:
+            self.open()
+        record = summary_record(key, summary)
+        if self._writer is None:
+            self._writer = csv.DictWriter(self._handle, fieldnames=list(record))
+            if self.count == 0:
+                self._writer.writeheader()
+        self._writer.writerow(
+            {
+                name: json.dumps(value) if isinstance(value, (dict, list)) else value
+                for name, value in record.items()
+            }
+        )
+        self._handle.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+
+def sink_for_path(path: str) -> ResultSink:
+    """The file sink matching ``path``'s extension (.jsonl/.json or .csv)."""
+    lowered = path.lower()
+    if lowered.endswith(".csv"):
+        return CsvSink(path)
+    if lowered.endswith((".jsonl", ".json", ".ndjson")):
+        return JsonlSink(path)
+    raise ValueError(
+        f"cannot infer sink format from {path!r}; use a .jsonl or .csv extension"
+    )
+
+
+# ----------------------------------------------------------------------
+# Readers (round-trip counterparts of the file sinks)
+# ----------------------------------------------------------------------
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Records written by a :class:`JsonlSink`, in file order."""
+    records: List[Dict[str, object]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+#: Identity columns of :func:`summary_record` — always strings, never
+#: JSON-decoded on readback (a trace named "2024" must stay a string).
+_STRING_COLUMNS = frozenset({"scenario", "policy", "trace"})
+
+
+def read_csv(path: str) -> List[Dict[str, object]]:
+    """Records written by a :class:`CsvSink`, in file order.
+
+    Non-identity cells are decoded as JSON where possible (numbers,
+    nested maps — Python float reprs round-trip exactly); identity
+    columns and anything undecodable stay strings.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            record: Dict[str, object] = {}
+            for name, cell in row.items():
+                if name in _STRING_COLUMNS:
+                    record[name] = cell
+                    continue
+                try:
+                    record[name] = json.loads(cell)
+                except (json.JSONDecodeError, TypeError):
+                    record[name] = cell
+            records.append(record)
+    return records

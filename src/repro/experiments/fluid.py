@@ -7,13 +7,20 @@ a binned trace (e.g. 5-minute bins over a week), applies each policy's
 decision rules per bin using the energy-performance profile, and
 integrates power into energy, GPU-hours and carbon — without tracking
 individual requests.
+
+The per-bin loop lives in :meth:`FluidRunner.steps`, which yields one
+:class:`FluidStepStats` per bin; :meth:`FluidRunner.run` integrates it
+into a :class:`FluidResult`, and the
+:class:`~repro.api.fluid_engine.FluidEngine` adapter replays the same
+generator behind the Scenario API's stepped/observed interface
+(``Scenario(backend="fluid")``) with byte-identical accounting.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.optimizer import plan_sharding
 from repro.llm.catalog import ModelSpec, LLAMA2_70B
@@ -25,6 +32,36 @@ from repro.perf.power_model import PowerModel
 from repro.policies.base import PolicySpec
 from repro.workload.classification import ClassificationScheme, DEFAULT_SCHEME, RequestType
 from repro.workload.traces import TraceBin
+
+
+@dataclass(frozen=True)
+class FluidStepStats:
+    """One bin's outcome, shaped like the cluster's per-step ``StepStats``.
+
+    The fields observers consume (``energy_wh``, ``power_watts``,
+    ``online_gpus``, ``online_servers``, ``outcomes``, ...) carry the
+    same meaning as on :class:`repro.cluster.cluster.StepStats`, so the
+    streaming observers work identically against both simulators.  The
+    fluid simulator tracks no individual requests, hence ``outcomes`` is
+    always empty, and it reports no frequency/TP telemetry.
+    """
+
+    time: float  # bin start
+    dt: float  # bin duration
+    power_watts: float
+    energy_wh: float
+    online_gpus: int
+    online_servers: float
+    pool_gpus: Dict[str, int] = field(default_factory=dict)
+    #: Pools whose GPU allocation changed versus the previous bin.
+    reconfigured_pools: Tuple[str, ...] = ()
+    # Observer-compatibility fields (empty for the fluid simulator).
+    energy_by_type_wh: Dict[str, float] = field(default_factory=dict)
+    outcomes: Tuple = ()
+    average_frequency_mhz: float = 0.0
+    gpus_by_tp: Dict[int, int] = field(default_factory=dict)
+    pool_frequency_mhz: Dict[str, float] = field(default_factory=dict)
+    pool_gpus_by_tp: Dict[str, Dict[int, int]] = field(default_factory=dict)
 
 
 @dataclass
@@ -45,9 +82,30 @@ class FluidResult:
 
     @property
     def average_servers(self) -> float:
-        if not self.servers_timeline:
+        """Time-weighted mean server count over the run.
+
+        Each timeline sample holds until the next sample's start time
+        (the last one until ``duration_s``), so bins of unequal length —
+        clipped trace tails, variable-rate bins — are weighted by how
+        long they actually lasted rather than counted once each.
+        """
+        timeline = self.servers_timeline
+        if not timeline:
             return 0.0
-        return sum(value for _, value in self.servers_timeline) / len(self.servers_timeline)
+        weighted = 0.0
+        total = 0.0
+        for index, (start, value) in enumerate(timeline):
+            if index + 1 < len(timeline):
+                end = timeline[index + 1][0]
+            else:
+                end = max(self.duration_s, start)
+            span = max(0.0, end - start)
+            weighted += value * span
+            total += span
+        if total <= 0.0:
+            # Degenerate timelines (all zero-length bins): plain mean.
+            return sum(value for _, value in timeline) / len(timeline)
+        return weighted / total
 
     def carbon_kg(self, intensity: Optional[CarbonIntensityTrace] = None) -> float:
         intensity = intensity or CarbonIntensityTrace()
@@ -179,13 +237,14 @@ class FluidRunner:
     # ------------------------------------------------------------------
     # Full run
     # ------------------------------------------------------------------
-    def run(
+    def _resolve(
         self,
         spec: PolicySpec,
         bins: Sequence[TraceBin],
         static_budgets: Optional[Dict[str, int]] = None,
-    ) -> FluidResult:
-        """Run one policy over the binned trace."""
+        fine_budgets: Optional[Dict[str, int]] = None,
+    ) -> Tuple["FluidRunner", Dict[str, int]]:
+        """The (scheme-matched runner, per-pool static budgets) of one run."""
         scheme = spec.scheme(self.scheme)
         # The runner's scheme must match the spec (SinglePool collapses pools).
         runner = self if scheme is self.scheme else FluidRunner(
@@ -195,42 +254,83 @@ class FluidRunner:
             # Static baselines are provisioned from per-bucket peaks (the
             # 9-pool accounting), exactly like the paper gives every baseline
             # the same peak-capable cluster; coarser schemes aggregate the
-            # budgets of their member buckets.
-            fine_budgets = self.static_budgets(bins)
+            # budgets of their member buckets.  ``fine_budgets`` lets sweep
+            # executors precompute the per-bucket peaks once per trace.
+            if fine_budgets is None:
+                fine_budgets = self.static_budgets(bins)
             static_budgets = {}
             for fine_pool, budget in fine_budgets.items():
                 bucket = self.scheme.heaviest_member(fine_pool)
                 coarse_pool = scheme.pool_of(bucket)
                 static_budgets[coarse_pool] = static_budgets.get(coarse_pool, 0) + budget
+        return runner, static_budgets
 
-        energy_wh = 0.0
-        gpu_seconds = 0.0
-        energy_timeline: List[Tuple[float, float]] = []
-        servers_timeline: List[Tuple[float, float]] = []
+    def steps(
+        self,
+        spec: PolicySpec,
+        bins: Sequence[TraceBin],
+        static_budgets: Optional[Dict[str, int]] = None,
+        fine_budgets: Optional[Dict[str, int]] = None,
+    ) -> Iterator[FluidStepStats]:
+        """Yield one :class:`FluidStepStats` per trace bin.
+
+        This is the single per-bin decision/integration loop: both
+        :meth:`run` and the stepped
+        :class:`~repro.api.fluid_engine.FluidEngine` adapter consume it,
+        so their energy / GPU-hour / reconfiguration accounting is
+        byte-for-byte identical (same arithmetic, same order).
+        """
+        runner, static_budgets = self._resolve(spec, bins, static_budgets, fine_budgets)
         previous_gpus: Dict[str, int] = {}
-        reconfigurations = 0
-
         for trace_bin in bins:
             loads = runner._pool_loads(trace_bin)
             pools = set(loads) | set(static_budgets)
             bin_power = 0.0
             bin_gpus = 0
+            pool_gpus: Dict[str, int] = {}
+            reconfigured: List[str] = []
             for pool in pools:
                 load = loads.get(pool, 0.0)
                 static = static_budgets.get(pool, 0)
                 power, gpus = runner._pool_power(spec, pool, load, static)
                 bin_power += power
                 bin_gpus += gpus
+                pool_gpus[pool] = gpus
                 if previous_gpus.get(pool) is not None and previous_gpus[pool] != gpus:
-                    reconfigurations += 1
+                    reconfigured.append(pool)
                 previous_gpus[pool] = gpus
             bin_energy_wh = bin_power * trace_bin.duration / 3600.0
-            energy_wh += bin_energy_wh
-            gpu_seconds += bin_gpus * trace_bin.duration
-            energy_timeline.append((trace_bin.start_time, bin_energy_wh))
-            servers_timeline.append(
-                (trace_bin.start_time, bin_gpus / self.server.gpus_per_server)
+            yield FluidStepStats(
+                time=trace_bin.start_time,
+                dt=trace_bin.duration,
+                power_watts=bin_power,
+                energy_wh=bin_energy_wh,
+                online_gpus=bin_gpus,
+                online_servers=bin_gpus / self.server.gpus_per_server,
+                pool_gpus=pool_gpus,
+                reconfigured_pools=tuple(reconfigured),
             )
+
+    def run(
+        self,
+        spec: PolicySpec,
+        bins: Sequence[TraceBin],
+        static_budgets: Optional[Dict[str, int]] = None,
+        fine_budgets: Optional[Dict[str, int]] = None,
+    ) -> FluidResult:
+        """Run one policy over the binned trace."""
+        energy_wh = 0.0
+        gpu_seconds = 0.0
+        energy_timeline: List[Tuple[float, float]] = []
+        servers_timeline: List[Tuple[float, float]] = []
+        reconfigurations = 0
+
+        for stats in self.steps(spec, bins, static_budgets, fine_budgets):
+            energy_wh += stats.energy_wh
+            gpu_seconds += stats.online_gpus * stats.dt
+            energy_timeline.append((stats.time, stats.energy_wh))
+            servers_timeline.append((stats.time, stats.online_servers))
+            reconfigurations += len(stats.reconfigured_pools)
 
         duration = bins[-1].start_time + bins[-1].duration if bins else 0.0
         return FluidResult(

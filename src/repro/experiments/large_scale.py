@@ -2,11 +2,15 @@
 
 These use the fluid (binned) simulator — the reproduction's counterpart
 of the paper's discrete-time simulator — over synthetic day- and
-week-long traces for the Conversation and Coding services.  The fluid
-runner predates the request-level :mod:`repro.api` engine and stays
-binned for speed; ``figure14_weekly_energy`` accepts ``workers`` to
-evaluate the services concurrently (one independent runner per service,
-results identical to a serial run).
+week-long traces for the Conversation and Coding services.  The classic
+figure drivers call :class:`~repro.experiments.fluid.FluidRunner`
+directly; :func:`weekly_policy_summaries` runs the same week through
+the unified :mod:`repro.api` layer (``Scenario(backend="fluid")``),
+which adds observer-based carbon/cost accounting, grid parallelism and
+streamed :class:`~repro.api.sinks.ResultSink` output on top of the
+byte-identical fluid accounting.  ``figure14_weekly_energy`` accepts
+``workers`` to evaluate the services concurrently (one independent
+runner per service, results identical to a serial run).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from repro.metrics.carbon import CarbonIntensityTrace, carbon_timeline_kg_per_h
 from repro.metrics.cost import CostModel
 from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
 from repro.workload.synthetic import SECONDS_PER_DAY, make_week_trace
-from repro.workload.traces import TraceBin
+from repro.workload.traces import BinnedTrace, TraceBin
 
 #: Rate scale applied to the week traces so the cluster spans tens of servers.
 DEFAULT_WEEK_RATE_SCALE = 40.0
@@ -57,6 +61,33 @@ def figure14_weekly_energy(
             futures = {service: pool.submit(evaluate, service) for service in services}
             return {service: future.result() for service, future in futures.items()}
     return {service: evaluate(service) for service in services}
+
+
+def weekly_policy_summaries(
+    service: str = "conversation",
+    rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
+    policies=ALL_POLICIES,
+    workers: Optional[int] = None,
+    sink=None,
+    bin_seconds: float = 300.0,
+):
+    """Figure 14's week, run through the Scenario API's fluid backend.
+
+    Returns full :class:`~repro.metrics.summary.RunSummary` objects per
+    policy (streaming carbon / cost / GPU-hours included) whose energy
+    accounting is byte-for-byte the classic ``FluidRunner`` result.
+    With ``sink`` set, summaries stream into it as they complete and the
+    sink is returned instead — the memory-bounded path for wide grids.
+    """
+    from repro.api.executor import run_policies
+
+    trace = BinnedTrace(
+        name=f"{service}-week",
+        bins=week_bins(service, rate_scale=rate_scale, bin_seconds=bin_seconds),
+    )
+    return run_policies(
+        trace, policies, workers=workers, backend="fluid", sink=sink
+    )
 
 
 def figure15_daily_energy(

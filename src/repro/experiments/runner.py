@@ -47,6 +47,9 @@ class ExperimentConfig:
     epochs: ControllerEpochs = field(default_factory=ControllerEpochs)
     drain_timeout_s: float = 300.0
     profile: Optional[EnergyPerformanceProfile] = None
+    #: Bin width used when the fluid backend must bin a request-level
+    #: trace itself (pre-binned traces keep their own bin widths).
+    fluid_bin_s: float = 300.0
 
     def resolved_profile(self) -> EnergyPerformanceProfile:
         if self.profile is not None:

@@ -33,6 +33,9 @@ class RunSummary:
     pool_load_timeline: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     squashed_requests: int = 0
     routed_requests: int = 0
+    #: Reconfiguration events over the run: controller epochs for the
+    #: event backend, per-pool GPU-allocation changes for the fluid one.
+    reconfigurations: int = 0
     #: Streaming collectors (populated by the default observer set).
     carbon: Optional[CarbonAccount] = None
     cost: Optional[CostAccount] = None

@@ -146,6 +146,38 @@ class Trace:
         return Trace(name=f"{self.name}x{rate_factor:g}", requests=requests)
 
 
+@dataclass
+class BinnedTrace:
+    """A named, binned trace — the fluid simulator's native input.
+
+    Week-long synthetic traces are generated directly as bins (request
+    level would mean millions of objects), and the fluid backend of the
+    :class:`~repro.api.scenario.Scenario` API accepts this wrapper
+    wherever a request-level :class:`Trace` would otherwise go.
+    """
+
+    name: str
+    bins: List[TraceBin]
+
+    def __len__(self) -> int:
+        return len(self.bins)
+
+    def __iter__(self):
+        return iter(self.bins)
+
+    @property
+    def duration(self) -> float:
+        """Binned span in seconds (end of the last bin)."""
+        if not self.bins:
+            return 0.0
+        last = self.bins[-1]
+        return last.start_time + last.duration
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(b.total_tokens for b in self.bins)
+
+
 def bin_trace(trace: Trace, bin_seconds: float, horizon: Optional[float] = None) -> List[TraceBin]:
     """Aggregate a trace into fixed-duration bins.
 

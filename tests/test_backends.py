@@ -1,0 +1,491 @@
+"""Cross-backend equivalence suite: fluid-vs-FluidRunner, fluid-vs-event.
+
+Three contracts are pinned here:
+
+1. **Exact fluid equivalence** — ``Scenario(backend="fluid")`` (through
+   ``run_scenario`` *and* the prepared/cached ``run_grid`` path) must
+   reproduce a direct ``FluidRunner.run`` byte-for-byte: energy,
+   GPU-hours, carbon, time-weighted server average and reconfiguration
+   count.  Both consume the same ``FluidRunner.steps`` loop, so any
+   drift is a real regression.
+2. **Streaming == post-hoc** — the default observers' streaming totals
+   (carbon / cost / SLO) must equal the post-hoc summary accounting on
+   *both* backends.
+3. **Fluid-vs-event tolerance** — on a short request-level trace the
+   coarse fluid backend must land within a documented factor of the
+   event engine's energy/GPU-hours (it has no drain phase, no queueing
+   and no per-request dynamics, so this is an order-of-agreement check,
+   not equality; see ``EVENT_FLUID_RTOL``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import (
+    BinnedTrace,
+    FluidEngine,
+    InMemorySink,
+    JsonlSink,
+    Scenario,
+    TraceSpec,
+    read_jsonl,
+    run_grid,
+    run_policies,
+    run_scenario,
+    sink_for_path,
+    sweep,
+)
+from repro.experiments.fluid import FluidResult, FluidRunner
+from repro.experiments.runner import ExperimentConfig
+from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL
+from repro.policies.base import get_policy_spec
+from repro.workload.synthetic import make_week_trace
+from repro.workload.traces import TraceBin, bin_trace
+
+#: Documented fluid-vs-event agreement on short traces: the two
+#: simulators agree on *scale* (same profile, same loads) but not on
+#: request-level effects — drain energy, queueing, EMA-lagged scaling.
+#: Measured on the 5-minute conversation slice: energy within ~10%,
+#: GPU-hours within ~30% (the fluid runner releases capacity instantly).
+EVENT_FLUID_ENERGY_RTOL = 0.25
+EVENT_FLUID_GPU_HOURS_RTOL = 0.45
+
+POLICY_NAMES = ("SinglePool", "ScaleInst", "DynamoLLM")
+
+
+@pytest.fixture(scope="module")
+def day_bins():
+    """One synthetic day in 30-minute bins (48 bins — fast but varied)."""
+    bins = make_week_trace("conversation", seed=7, rate_scale=40.0, bin_seconds=1800.0)
+    return bins[:48]
+
+
+@pytest.fixture(scope="module")
+def day_trace(day_bins):
+    return BinnedTrace(name="conversation-day", bins=day_bins)
+
+
+# ----------------------------------------------------------------------
+# 1. Exact equivalence with FluidRunner
+# ----------------------------------------------------------------------
+class TestFluidRunnerEquivalence:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_run_scenario_matches_fluid_runner_exactly(self, policy, day_bins, day_trace):
+        direct = FluidRunner().run(get_policy_spec(policy), day_bins)
+        summary = run_scenario(Scenario(policy=policy, trace=day_trace, backend="fluid"))
+
+        assert summary.energy.total_wh == direct.energy_wh
+        assert summary.energy_kwh == direct.energy_kwh
+        assert summary.gpu_hours == direct.gpu_hours
+        assert summary.average_servers == direct.average_servers
+        assert summary.reconfigurations == direct.reconfigurations
+        assert summary.carbon is not None
+        assert summary.carbon.total_kg == direct.carbon_kg()
+        assert summary.duration_s == direct.duration_s
+
+    def test_grid_path_matches_fluid_runner_exactly(self, day_bins, day_trace):
+        """The cached run_grid path (shared bins + precomputed budgets)."""
+        grid = sweep(policies=POLICY_NAMES, traces=(day_trace,), backends=("fluid",))
+        summaries = run_grid(grid, workers=2)
+        for policy in POLICY_NAMES:
+            direct = FluidRunner().run(get_policy_spec(policy), day_bins)
+            summary = summaries[f"{policy}/conversation-day/fluid"]
+            assert summary.energy.total_wh == direct.energy_wh
+            assert summary.gpu_hours == direct.gpu_hours
+            assert summary.average_servers == direct.average_servers
+            assert summary.reconfigurations == direct.reconfigurations
+            assert summary.carbon.total_kg == direct.carbon_kg()
+
+    def test_engine_result_is_the_fluid_result(self, day_bins):
+        engine = FluidEngine(DYNAMO_LLM, day_bins, ExperimentConfig())
+        engine.run()
+        via_engine = engine.result()
+        direct = FluidRunner().run(DYNAMO_LLM, day_bins)
+        assert via_engine.energy_wh == direct.energy_wh
+        assert via_engine.gpu_hours == direct.gpu_hours
+        assert via_engine.energy_timeline_wh == direct.energy_timeline_wh
+        assert via_engine.servers_timeline == direct.servers_timeline
+        assert via_engine.reconfigurations == direct.reconfigurations
+
+    def test_run_policies_fluid_backend(self, day_trace, day_bins):
+        summaries = run_policies(day_trace, ALL_POLICIES, backend="fluid")
+        direct = FluidRunner().run_all(ALL_POLICIES, day_bins)
+        assert set(summaries) == set(direct)
+        for name, summary in summaries.items():
+            assert summary.energy.total_wh == direct[name].energy_wh
+
+    def test_stepped_interface(self, day_bins):
+        """step() advances one bin and reports completion correctly."""
+        engine = FluidEngine(SINGLE_POOL, day_bins, ExperimentConfig())
+        steps = 0
+        while engine.step():
+            steps += 1
+        assert steps == len(day_bins)
+        assert engine.step() is False  # idempotent after completion
+        assert engine.now == day_bins[-1].start_time + day_bins[-1].duration
+
+
+# ----------------------------------------------------------------------
+# 2. Streaming observer totals == post-hoc accounting, both backends
+# ----------------------------------------------------------------------
+class TestStreamingTotals:
+    def _check(self, summary):
+        assert summary.carbon is not None and summary.cost is not None
+        assert summary.carbon.total_kg == summary.carbon_kg()
+        assert summary.cost.total_usd == summary.cost_usd()
+        assert summary.cost.gpu_hours == pytest.approx(summary.gpu_hours, rel=1e-12)
+
+    def test_event_backend(self, tiny_trace, experiment_config):
+        summary = run_scenario(
+            Scenario(policy="DynamoLLM", trace=tiny_trace, base_config=experiment_config)
+        )
+        self._check(summary)
+        # Per-pool attainment is count-weighted-consistent with the global rate.
+        total = sum(summary.pool_request_counts.values())
+        if total:
+            weighted = sum(
+                summary.pool_slo_attainment[pool] * count
+                for pool, count in summary.pool_request_counts.items()
+            )
+            assert weighted / total == pytest.approx(summary.slo_attainment())
+
+    def test_fluid_backend(self, day_trace):
+        summary = run_scenario(
+            Scenario(policy="DynamoLLM", trace=day_trace, backend="fluid")
+        )
+        self._check(summary)
+        # No request-level telemetry on the fluid backend.
+        assert summary.latency.count == 0
+        assert summary.slo_attainment() == 1.0
+
+
+# ----------------------------------------------------------------------
+# 3. Fluid-vs-event agreement on short request-level traces
+# ----------------------------------------------------------------------
+class TestEventFluidTolerance:
+    @pytest.fixture(scope="class")
+    def pair(self, short_trace, profile):
+        config = ExperimentConfig(profile=profile, max_servers=16)
+        event = run_scenario(
+            Scenario(policy="DynamoLLM", trace=short_trace, base_config=config),
+            lean=True,
+        )
+        fluid = run_scenario(
+            Scenario(
+                policy="DynamoLLM",
+                trace=short_trace,
+                backend="fluid",
+                fluid_bin_s=60.0,
+                base_config=config,
+            )
+        )
+        return event, fluid
+
+    def test_energy_within_documented_tolerance(self, pair):
+        event, fluid = pair
+        assert fluid.energy_kwh > 0 and event.energy_kwh > 0
+        assert fluid.energy_kwh == pytest.approx(
+            event.energy_kwh, rel=EVENT_FLUID_ENERGY_RTOL
+        )
+
+    def test_gpu_hours_within_documented_tolerance(self, pair):
+        event, fluid = pair
+        assert fluid.gpu_hours > 0 and event.gpu_hours > 0
+        assert fluid.gpu_hours == pytest.approx(
+            event.gpu_hours, rel=EVENT_FLUID_GPU_HOURS_RTOL
+        )
+
+    def test_policy_ordering_agrees(self, short_trace, profile):
+        """Both backends agree DynamoLLM saves energy vs the static baseline."""
+        config = ExperimentConfig(profile=profile, max_servers=16)
+        event = run_policies(short_trace, (SINGLE_POOL, DYNAMO_LLM), config=config, lean=True)
+        fluid = run_policies(
+            short_trace, (SINGLE_POOL, DYNAMO_LLM), config=config, backend="fluid"
+        )
+        assert event["DynamoLLM"].energy_kwh < event["SinglePool"].energy_kwh
+        assert fluid["DynamoLLM"].energy_kwh < fluid["SinglePool"].energy_kwh
+
+
+# ----------------------------------------------------------------------
+# Backend selection plumbing
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Scenario(backend="quantum")
+
+    def test_week_spec_needs_fluid(self):
+        scenario = Scenario(trace=TraceSpec(kind="week"))
+        with pytest.raises(ValueError, match="binned form"):
+            run_scenario(scenario)
+
+    def test_binned_trace_needs_fluid(self, day_trace):
+        with pytest.raises(ValueError, match="fluid"):
+            run_scenario(Scenario(trace=day_trace))
+
+    def test_fluid_key_suffix(self, day_trace):
+        assert Scenario(trace=day_trace, backend="fluid").key.endswith("/fluid")
+        assert "fluid" not in Scenario().key
+
+    def test_week_spec_builds_bins(self):
+        spec = TraceSpec(kind="week", duration_s=7200.0)
+        bins = spec.build_bins(1800.0)
+        assert len(bins) == 4
+        assert all(b.duration == 1800.0 for b in bins)
+
+    def test_week_duration_clips_straddling_bin(self):
+        """A cut inside a bin truncates it — rate preserved, horizon exact."""
+        full = TraceSpec(kind="week").build_bins(1800.0)
+        clipped = TraceSpec(kind="week", duration_s=2700.0).build_bins(1800.0)
+        assert len(clipped) == 2
+        last = clipped[-1]
+        assert last.duration == 900.0
+        assert last.start_time + last.duration == 2700.0
+        # The offered rate of the truncated bin matches the full bin.
+        if full[1].tokens_per_second > 0:
+            assert last.tokens_per_second == pytest.approx(
+                full[1].tokens_per_second, rel=0.01
+            )
+        summary = run_scenario(
+            Scenario(
+                trace=TraceSpec(kind="week", duration_s=2700.0),
+                backend="fluid",
+                fluid_bin_s=1800.0,
+            )
+        )
+        assert summary.duration_s == 2700.0
+
+    def test_fluid_bin_override_reaches_config(self):
+        scenario = Scenario(backend="fluid", fluid_bin_s=120.0)
+        assert scenario.resolved_config().fluid_bin_s == 120.0
+        # Differing bin widths must stay distinguishable in grids/sinks.
+        assert "bin120" in scenario.key
+        assert scenario.key != scenario.with_(fluid_bin_s=600.0).key
+
+    def test_run_scenario_accepts_raw_bins(self, day_bins):
+        """An explicit TraceBin sequence wins over the scenario's spec."""
+        scenario = Scenario(trace=TraceSpec(kind="week"), backend="fluid")
+        summary = run_scenario(scenario, trace=day_bins)
+        direct = FluidRunner().run(get_policy_spec(scenario.policy_name), day_bins)
+        assert summary.energy.total_wh == direct.energy_wh
+
+    def test_static_servers_rejected_on_fluid(self, day_trace):
+        """Silently ignoring a pinned event budget would corrupt comparisons."""
+        with pytest.raises(ValueError, match="event-backend dimensions"):
+            Scenario(trace=day_trace, backend="fluid", static_servers=4)
+        with pytest.raises(ValueError, match="event-backend dimensions"):
+            Scenario(trace=day_trace, backend="fluid", max_servers=8)
+
+    @pytest.mark.parametrize(
+        "field", ("slo_scale", "predictor_accuracy", "time_step_s")
+    )
+    def test_request_level_dimensions_rejected_on_fluid(self, day_trace, field):
+        """Dimensions the fluid simulator cannot honour fail fast instead of
+        producing distinct-keyed scenarios with identical results."""
+        with pytest.raises(ValueError, match="event-backend dimensions"):
+            Scenario(trace=day_trace, backend="fluid", **{field: 2.0})
+
+    def test_fluid_bin_rejected_on_event(self):
+        with pytest.raises(ValueError, match="fluid_bin_s"):
+            Scenario(fluid_bin_s=60.0)
+
+    def test_base_config_static_servers_rejected_at_run_time(self, day_trace):
+        """A pinned budget arriving via base_config is caught by the engine."""
+        scenario = Scenario(
+            trace=day_trace, backend="fluid",
+            base_config=ExperimentConfig(static_servers=4),
+        )
+        with pytest.raises(ValueError, match="static_servers"):
+            run_scenario(scenario)
+
+    def test_mixed_backend_grid_shares_one_built_trace(self, monkeypatch):
+        """Event + fluid members over one TraceSpec build the trace once."""
+        import repro.api.scenario as scenario_module
+
+        spec = TraceSpec(rate_scale=3.0, duration_s=120.0)
+        builds = []
+        original = scenario_module.TraceSpec.build
+
+        def counting_build(self):
+            builds.append(self)
+            return original(self)
+
+        monkeypatch.setattr(scenario_module.TraceSpec, "build", counting_build)
+        grid = sweep(policies=("DynamoLLM",), traces=(spec,),
+                     backends=("event", "fluid"))
+        summaries = run_grid(grid, lean=True)
+        assert len(summaries) == 2
+        assert len(builds) == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: time-weighted average_servers with uneven bins
+# ----------------------------------------------------------------------
+class TestTimeWeightedAverageServers:
+    def test_uneven_timeline_is_duration_weighted(self):
+        # 10 servers for 100s, then 2 servers for 900s: the plain sample
+        # mean (6.0) would overweight the short burst; time-weighted is
+        # (10*100 + 2*900) / 1000 = 2.8.
+        result = FluidResult(
+            policy="x",
+            duration_s=1000.0,
+            energy_wh=0.0,
+            gpu_hours=0.0,
+            servers_timeline=[(0.0, 10.0), (100.0, 2.0)],
+        )
+        assert result.average_servers == pytest.approx(2.8)
+
+    def test_uniform_timeline_matches_plain_mean(self):
+        timeline = [(i * 300.0, float(v)) for i, v in enumerate((4, 6, 8, 2))]
+        result = FluidResult(
+            policy="x", duration_s=1200.0, energy_wh=0.0, gpu_hours=0.0,
+            servers_timeline=timeline,
+        )
+        assert result.average_servers == pytest.approx(5.0)
+
+    def test_empty_timeline(self):
+        result = FluidResult(policy="x", duration_s=0.0, energy_wh=0.0, gpu_hours=0.0)
+        assert result.average_servers == 0.0
+
+    def test_run_over_uneven_bins(self):
+        """End-to-end: a clipped trace tail (short final bin) is weighted less."""
+        bins = make_week_trace("conversation", seed=7, rate_scale=40.0, bin_seconds=1800.0)[:8]
+        short_tail = TraceBin(
+            start_time=bins[-1].start_time + bins[-1].duration,
+            duration=60.0,
+            request_count=0,
+            input_tokens=0,
+            output_tokens=0,
+        )
+        uneven = list(bins) + [short_tail]
+        result = FluidRunner().run(DYNAMO_LLM, uneven)
+        timeline = result.servers_timeline
+        spans = [
+            (timeline[i + 1][0] if i + 1 < len(timeline) else result.duration_s) - t
+            for i, (t, _) in enumerate(timeline)
+        ]
+        expected = sum(v * s for (_, v), s in zip(timeline, spans)) / sum(spans)
+        assert result.average_servers == pytest.approx(expected)
+        plain_mean = sum(v for _, v in timeline) / len(timeline)
+        assert not math.isclose(result.average_servers, plain_mean)
+
+
+# ----------------------------------------------------------------------
+# Result sinks: streamed sweep output
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_jsonl_streams_one_line_per_scenario(self, day_trace, tmp_path):
+        grid = sweep(policies=("SinglePool", "DynamoLLM"), traces=(day_trace,),
+                     backends=("fluid",))
+        path = tmp_path / "results.jsonl"
+        sink = run_grid(grid, sink=JsonlSink(str(path)))
+        assert sink.count == len(grid)
+        records = read_jsonl(str(path))
+        assert [r["scenario"] for r in records] == list(grid.keys())
+        for record in records:
+            assert record["energy_kwh"] > 0
+            assert record["policy"] in ("SinglePool", "DynamoLLM")
+
+    def test_parallel_streaming_covers_every_scenario(self, day_trace, tmp_path):
+        grid = sweep(policies=("SinglePool", "ScaleInst", "DynamoLLM"),
+                     traces=(day_trace,), backends=("fluid",))
+        path = tmp_path / "results.jsonl"
+        run_grid(grid, workers=3, sink=JsonlSink(str(path)))
+        records = read_jsonl(str(path))
+        # Completion order may differ; coverage and payloads must not.
+        assert sorted(r["scenario"] for r in records) == sorted(grid.keys())
+
+    def test_streamed_records_match_accumulated_summaries(self, day_trace, tmp_path):
+        from repro.api import summary_record
+
+        grid = sweep(policies=("SinglePool", "DynamoLLM"), traces=(day_trace,),
+                     backends=("fluid",))
+        path = tmp_path / "results.jsonl"
+        run_grid(grid, sink=JsonlSink(str(path)))
+        summaries = run_grid(grid)
+        by_key = {r["scenario"]: r for r in read_jsonl(str(path))}
+        for key, summary in summaries.items():
+            assert by_key[key] == summary_record(key, summary)
+
+    def test_in_memory_sink_matches_run_grid(self, day_trace):
+        grid = sweep(policies=("SinglePool",), traces=(day_trace,), backends=("fluid",))
+        sink = run_grid(grid, sink=InMemorySink())
+        plain = run_grid(grid)
+        assert set(sink.results) == set(plain)
+        key = next(iter(plain))
+        assert sink.results[key].energy_kwh == plain[key].energy_kwh
+
+    def test_run_policies_sink_keys_by_policy(self, day_trace, tmp_path):
+        path = tmp_path / "policies.jsonl"
+        run_policies(
+            day_trace, (SINGLE_POOL, DYNAMO_LLM), backend="fluid",
+            sink=JsonlSink(str(path)),
+        )
+        assert [r["scenario"] for r in read_jsonl(str(path))] == [
+            "SinglePool", "DynamoLLM",
+        ]
+
+    def test_sink_closed_on_failure(self, tmp_path):
+        path = tmp_path / "fail.jsonl"
+        sink = JsonlSink(str(path))
+        grid = sweep(policies=("NoSuchPolicy",))
+        with pytest.raises(KeyError):
+            run_grid(grid, sink=sink)
+        assert sink._handle is None  # closed despite the error
+
+    def test_sink_reuse_appends_instead_of_truncating(self, day_trace, tmp_path):
+        """A sink reused across two sweeps keeps both sweeps' records."""
+        path = tmp_path / "reuse.jsonl"
+        sink = JsonlSink(str(path))
+        first = sweep(policies=("SinglePool",), traces=(day_trace,), backends=("fluid",))
+        second = sweep(policies=("DynamoLLM",), traces=(day_trace,), backends=("fluid",))
+        run_grid(first, sink=sink)
+        run_grid(second, sink=sink)
+        records = read_jsonl(str(path))
+        assert len(records) == sink.count == 2
+        assert [r["policy"] for r in records] == ["SinglePool", "DynamoLLM"]
+
+    def test_csv_identity_columns_stay_strings(self, day_bins, tmp_path):
+        """A numeric-looking trace name must round-trip as a string."""
+        from repro.api import CsvSink, read_csv
+
+        trace = BinnedTrace(name="2024", bins=day_bins)
+        grid = sweep(policies=("SinglePool",), traces=(trace,), backends=("fluid",))
+        path = tmp_path / "numeric.csv"
+        run_grid(grid, sink=CsvSink(str(path)))
+        (record,) = read_csv(str(path))
+        assert record["trace"] == "2024" and isinstance(record["trace"], str)
+        assert isinstance(record["scenario"], str)
+        assert isinstance(record["energy_kwh"], float)
+
+    def test_csv_sink_reuse_writes_single_header(self, day_trace, tmp_path):
+        from repro.api import CsvSink, read_csv
+
+        path = tmp_path / "reuse.csv"
+        sink = CsvSink(str(path))
+        grid = sweep(policies=("SinglePool",), traces=(day_trace,), backends=("fluid",))
+        run_grid(grid, sink=sink)
+        run_grid(sweep(policies=("DynamoLLM",), traces=(day_trace,),
+                       backends=("fluid",)), sink=sink)
+        records = read_csv(str(path))
+        assert [r["policy"] for r in records] == ["SinglePool", "DynamoLLM"]
+
+    def test_sink_for_path(self, tmp_path):
+        from repro.api import CsvSink
+
+        assert isinstance(sink_for_path("a.jsonl"), JsonlSink)
+        assert isinstance(sink_for_path("a.csv"), CsvSink)
+        with pytest.raises(ValueError, match="extension"):
+            sink_for_path("results.parquet")
+
+    def test_event_backend_streams_too(self, tiny_trace, experiment_config, tmp_path):
+        grid = sweep(policies=("DynamoLLM",), traces=(tiny_trace,),
+                     base_config=experiment_config)
+        path = tmp_path / "event.jsonl"
+        run_grid(grid, lean=True, sink=JsonlSink(str(path)))
+        (record,) = read_jsonl(str(path))
+        assert record["requests"] > 0
+        assert record["energy_kwh"] > 0

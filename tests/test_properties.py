@@ -138,3 +138,207 @@ class TestReshardingProperties:
         plan = plan_reshard(source, destination)
         assert plan.time_units <= 8
         assert plan.shards_moved <= 8 * 8
+
+
+# ======================================================================
+# Seeded-RNG property tests (hypothesis-free): sinks, observer totals,
+# resample mass conservation.  Each case draws randomized inputs from an
+# explicit ``random.Random(seed)`` so failures replay deterministically.
+# ======================================================================
+import math
+import random
+
+import pytest
+
+from repro.api import (
+    BinnedTrace,
+    CsvSink,
+    JsonlSink,
+    Scenario,
+    read_csv,
+    read_jsonl,
+    run_grid,
+    run_scenario,
+    summary_record,
+    sweep,
+)
+from repro.workload.loaders import resample_trace
+from repro.workload.request import Request
+from repro.workload.synthetic import make_week_trace
+from repro.workload.traces import Trace
+
+
+def _random_fluid_scenarios(rng: random.Random, count: int):
+    """Randomized (cheap) fluid scenarios over distinct synthetic days."""
+    scenarios = []
+    for index in range(count):
+        bins = make_week_trace(
+            rng.choice(("conversation", "coding")),
+            seed=rng.randrange(1, 1000),
+            rate_scale=rng.choice((10.0, 25.0, 40.0)),
+            bin_seconds=rng.choice((900.0, 1800.0)),
+        )[: rng.randrange(8, 24)]
+        scenarios.append(
+            Scenario(
+                policy=rng.choice(("SinglePool", "ScaleInst", "DynamoLLM")),
+                trace=BinnedTrace(name=f"rand-{index}", bins=bins),
+                backend="fluid",
+            )
+        )
+    return scenarios
+
+
+class TestSinkRoundTripProperties:
+    def test_jsonl_round_trip_identical_records(self, tmp_path):
+        from repro.api import ScenarioGrid
+
+        rng = random.Random(20260729)
+        scenarios = _random_fluid_scenarios(rng, 6)
+        path = tmp_path / "roundtrip.jsonl"
+        run_grid(ScenarioGrid(scenarios), sink=JsonlSink(str(path)))
+        expected = {
+            s.key: summary_record(s.key, run_scenario(s)) for s in scenarios
+        }
+        for record in read_jsonl(str(path)):
+            assert record == expected[record["scenario"]]
+
+    def test_csv_round_trip_identical_records(self, tmp_path):
+        rng = random.Random(42)
+        scenarios = _random_fluid_scenarios(rng, 4)
+        path = tmp_path / "roundtrip.csv"
+        from repro.api import ScenarioGrid
+
+        run_grid(ScenarioGrid(scenarios), sink=CsvSink(str(path)))
+        expected = {
+            s.key: summary_record(s.key, run_scenario(s)) for s in scenarios
+        }
+        records = read_csv(str(path))
+        assert len(records) == len(scenarios)
+        for record in records:
+            want = expected[record["scenario"]]
+            assert set(record) == set(want)
+            for name, value in want.items():
+                # Python float/int reprs round-trip exactly through JSON.
+                assert record[name] == value, name
+
+
+class TestObserverInvariantProperties:
+    """Streaming observer totals equal the post-hoc accounting."""
+
+    def test_fluid_backend_randomized(self):
+        rng = random.Random(7)
+        for scenario in _random_fluid_scenarios(rng, 5):
+            summary = run_scenario(scenario)
+            assert summary.carbon.total_kg == summary.carbon_kg()
+            assert summary.cost.total_usd == summary.cost_usd()
+            assert summary.cost.gpu_hours == pytest.approx(summary.gpu_hours, rel=1e-12)
+
+    def test_event_backend_randomized(self, profile):
+        from repro.experiments.runner import ExperimentConfig
+        from repro.workload.synthetic import make_one_hour_trace
+
+        rng = random.Random(11)
+        config = ExperimentConfig(profile=profile, max_servers=12)
+        for _ in range(2):
+            trace = make_one_hour_trace(
+                "conversation",
+                seed=rng.randrange(1, 100),
+                rate_scale=rng.choice((3.0, 5.0)),
+            ).slice(0.0, rng.choice((90.0, 150.0)))
+            summary = run_scenario(
+                Scenario(
+                    policy=rng.choice(("SinglePool", "DynamoLLM")),
+                    trace=trace,
+                    base_config=config,
+                ),
+                lean=True,
+            )
+            assert summary.carbon.total_kg == summary.carbon_kg()
+            assert summary.cost.total_usd == summary.cost_usd()
+            weighted = sum(
+                summary.pool_slo_attainment[pool] * count
+                for pool, count in summary.pool_request_counts.items()
+            )
+            total = sum(summary.pool_request_counts.values())
+            if total:
+                assert weighted / total == pytest.approx(summary.slo_attainment())
+
+
+class TestResampleMassConservation:
+    """resample_trace's error diffusion conserves burst mass."""
+
+    @staticmethod
+    def _random_trace(rng: random.Random, bin_seconds: float, n_bins: int) -> Trace:
+        requests = []
+        for index in range(n_bins):
+            # Bursty: some bins empty, some dense.  Arrivals sit on a
+            # 40 ms grid away from bin edges, so distinct requests are
+            # >= 40 ms apart and replica jitter (1 ms per extra copy)
+            # can neither collide copies of different requests nor push
+            # one across a bin boundary.
+            count = rng.choice((0, 1, 2, 5, 12, 30))
+            slots = rng.sample(range(1, int(bin_seconds / 0.04) - 1), count)
+            for slot in slots:
+                requests.append(
+                    Request(
+                        arrival_time=index * bin_seconds + slot * 0.04,
+                        input_tokens=rng.randrange(8, 2000),
+                        output_tokens=rng.randrange(2, 800),
+                        service="conversation",
+                    )
+                )
+        return Trace(name="prop", requests=requests)
+
+    def test_prefix_counts_follow_error_diffusion(self):
+        rng = random.Random(99)
+        for factor in (0.3, 0.7, 1.5, 2.25, 3.0):
+            trace = self._random_trace(rng, 10.0, 30)
+            resampled = resample_trace(trace, factor)
+            # Copies of request at time t land in [t, t + 20 ms) — the
+            # grid spacing guarantees unambiguous recovery.
+            copies = {round(r.arrival_time, 4): 0 for r in trace.requests}
+            for r in resampled.requests:
+                origin = round(0.04 * math.floor((r.arrival_time + 1e-9) / 0.04), 4)
+                copies[origin] += 1
+            cumulative = 0
+            for k, request in enumerate(trace.requests, start=1):
+                cumulative += copies[round(request.arrival_time, 4)]
+                # carry stays in [0, 1): factor*k - 1 < cumulative <= factor*k
+                assert factor * k - 1 - 1e-6 < cumulative <= factor * k + 1e-6
+
+    def test_per_bin_mass_scales_uniformly(self):
+        """Every bin's request count scales by the factor within one unit."""
+        rng = random.Random(123)
+        bin_seconds = 10.0
+        for factor in (0.4, 1.8, 2.5):
+            trace = self._random_trace(rng, bin_seconds, 40)
+            resampled = resample_trace(trace, factor)
+
+            def bin_counts(t):
+                counts = {}
+                for r in t.requests:
+                    counts[int(r.arrival_time // bin_seconds)] = (
+                        counts.get(int(r.arrival_time // bin_seconds), 0) + 1
+                    )
+                return counts
+
+            original = bin_counts(trace)
+            scaled = bin_counts(resampled)
+            for index, count in original.items():
+                assert abs(scaled.get(index, 0) - factor * count) <= 1.0 + 1e-6
+            # No mass appears in bins that had none.
+            assert set(scaled) <= set(original)
+
+    def test_total_token_mass_conserved(self):
+        rng = random.Random(5)
+        trace = self._random_trace(rng, 10.0, 50)
+        for factor in (0.5, 2.0, 3.5):
+            resampled = resample_trace(trace, factor)
+            # Request count is conserved exactly (carry bounded by 1).
+            assert abs(len(resampled.requests) - factor * len(trace.requests)) < 1.0 + 1e-6
+            # Token mass scales approximately: copies are whole requests,
+            # so per-request rounding (±1 copy, weighted by that
+            # request's tokens) leaves a small relative error.
+            original_mass = sum(r.total_tokens for r in trace.requests)
+            scaled_mass = sum(r.total_tokens for r in resampled.requests)
+            assert scaled_mass == pytest.approx(factor * original_mass, rel=0.05)
