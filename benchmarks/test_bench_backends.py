@@ -77,8 +77,10 @@ def _day_grid():
 
 def _sweep_seconds(grid, sink_factory):
     best = float("inf")
-    for _ in range(3):
-        sink = sink_factory()
+    for repeat in range(3):
+        # One file per repeat: file sinks append to (never truncate) an
+        # existing results file, so reusing a path would accumulate.
+        sink = sink_factory(repeat)
         started = time.perf_counter()
         run_grid(grid, sink=sink)
         best = min(best, time.perf_counter() - started)
@@ -95,9 +97,33 @@ def test_jsonl_sink_overhead_guard(tmp_path):
     accidental fsync, serialising timelines) can trip it.
     """
     grid = _day_grid()
-    in_memory = _sweep_seconds(grid, InMemorySink)
-    jsonl = _sweep_seconds(grid, lambda: JsonlSink(str(tmp_path / "bench.jsonl")))
+    in_memory = _sweep_seconds(grid, lambda repeat: InMemorySink())
+    jsonl = _sweep_seconds(
+        grid, lambda repeat: JsonlSink(str(tmp_path / f"bench{repeat}.jsonl"))
+    )
     assert jsonl <= in_memory * 1.05 + 0.25, (jsonl, in_memory)
+
+
+def test_resume_scan_overhead_guard(tmp_path):
+    """Resuming a finished sweep must cost file-scan time, not sim time.
+
+    A full sweep runs once; rerunning it with ``resume=True`` skips
+    every scenario before traces are materialised, so the rerun must be
+    far cheaper than the sweep itself (bounded here at half the original
+    wall-clock plus scheduler slack — in practice it is milliseconds).
+    """
+    grid = _day_grid()
+    path = str(tmp_path / "resume.jsonl")
+    started = time.perf_counter()
+    run_grid(grid, sink=JsonlSink(path))
+    full = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sink = run_grid(grid, sink=JsonlSink(path, resume=True))
+    rerun = time.perf_counter() - started
+    assert sink.report.skipped == len(grid) and sink.report.ran == 0
+    assert len(read_jsonl(path)) == len(grid)
+    assert rerun <= full * 0.5 + 0.1, (rerun, full)
 
 
 def test_streamed_sweep_matches_accumulated(tmp_path):

@@ -5,11 +5,14 @@ Runs the six evaluated systems over the synthetic week trace (the
 Figures 14-16 workload) through ``Scenario(backend="fluid")`` — a full
 week per policy in well under a second — and streams one JSON record
 per completed scenario to disk instead of accumulating summaries in
-memory.  The same sweep is available from the command line::
+memory.  The sink is opened with ``resume=True``, so rerunning the
+script (or restarting it after an interruption) skips the scenarios
+already recorded and appends only the missing ones.  The same sweep is
+available from the command line::
 
     python -m repro sweep --backend fluid --trace week --rate-scale 40 \
         --policies SinglePool,MultiPool,ScaleInst,ScaleShard,ScaleFreq,DynamoLLM \
-        --out week.jsonl
+        --out week.jsonl --resume
 
 Run with::
 
@@ -38,9 +41,24 @@ def main() -> None:
         traces=(TraceSpec(kind="week", service=args.service, rate_scale=args.rate_scale),),
         backends=("fluid",),
     )
-    run_grid(grid, workers=args.workers, sink=JsonlSink(args.out))
+    # resume=True makes the sweep restartable: records already in the
+    # file are kept (file sinks never truncate) and their scenarios are
+    # skipped, so interrupting and rerunning costs only the missing runs.
+    sink = run_grid(grid, workers=args.workers, sink=JsonlSink(args.out, resume=True))
+    print(
+        f"{sink.report.ran} ran, {sink.report.skipped} skipped, "
+        f"{sink.report.failed} failed"
+    )
 
-    records = read_jsonl(args.out)
+    # The file may hold more than this sweep: error records carry only
+    # {scenario, error}, and earlier runs with other parameters (a
+    # different --rate-scale/--service) left their own records behind —
+    # keep exactly the current grid's summaries for the table.
+    keys = set(grid.keys())
+    records = [
+        r for r in read_jsonl(args.out)
+        if not r.get("error") and r.get("scenario") in keys
+    ]
     baseline = next(r for r in records if r["policy"] == "SinglePool")
     header = f"{'policy':12s} {'energy kWh':>11s} {'vs base':>8s} {'GPU-hours':>10s} {'kgCO2':>8s} {'reconf':>7s}"
     print(header)
@@ -52,7 +70,10 @@ def main() -> None:
             f"{record['gpu_hours']:10.1f} {record['carbon_kg']:8.1f} "
             f"{record['reconfigurations']:7d}"
         )
-    print(f"\n{len(records)} week-long scenarios streamed to {args.out}")
+    print(
+        f"\n{sink.report.ran} week-long scenarios streamed to {args.out} "
+        f"({len(records)} in the table)"
+    )
 
 
 if __name__ == "__main__":

@@ -10,7 +10,10 @@ Subcommands:
   x predictor accuracies x pool counts and run it, optionally in
   parallel (``--workers``).  ``--out results.jsonl`` (or ``.csv``)
   streams one record per completed scenario to disk instead of
-  accumulating summaries in memory.
+  accumulating summaries in memory; a scenario that raises becomes an
+  error record instead of aborting the sweep.  ``--resume`` reruns an
+  interrupted sweep: scenarios already recorded in ``--out`` are
+  skipped, the rest append, and a skipped/ran/failed report is printed.
 * ``list-experiments`` — list the registered paper artefacts.
 * ``bench`` — run registered experiments by id and report wall-clock
   times (defaults to the light, analytic artefacts).
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -152,6 +156,22 @@ def cmd_sweep(args) -> int:
             "--json and --out are mutually exclusive: with --out the "
             "streamed file is the machine-readable output"
         )
+    if args.resume and not args.out:
+        raise ValueError(
+            "--resume requires --out PATH: the results file defines which "
+            "scenarios are already done"
+        )
+    if (
+        args.out
+        and not args.resume
+        and os.path.exists(args.out)
+        and os.path.getsize(args.out) > 0
+    ):
+        raise ValueError(
+            f"{args.out} already holds results; pass --resume to skip the "
+            "scenarios it records and append the rest, or remove the file "
+            "for a fresh sweep (it is never truncated)"
+        )
     print(f"running {len(grid)} scenarios (workers={args.workers}) ...", file=sys.stderr)
     started = time.perf_counter()
     if args.out:
@@ -162,14 +182,19 @@ def cmd_sweep(args) -> int:
             workers=args.workers,
             lean=not args.timelines,
             mode=args.mode,
-            sink=sink_for_path(args.out),
+            sink=sink_for_path(args.out, resume=args.resume),
         )
         elapsed = time.perf_counter() - started
+        report = sink.report
         print(
-            f"{sink.count} results streamed to {args.out} in {elapsed:.1f}s wall-clock",
+            f"{args.out}: {report.ran} ran, {report.skipped} skipped, "
+            f"{report.failed} failed ({sink.count} records on disk) "
+            f"in {elapsed:.1f}s wall-clock",
             file=sys.stderr,
         )
-        return 0
+        # Failed scenarios are recorded as error records and retried by
+        # a --resume rerun; surface them in the exit status.
+        return 1 if report.failed else 0
     summaries = run_grid(
         grid, workers=args.workers, lean=not args.timelines, mode=args.mode
     )
@@ -303,9 +328,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--timelines", action="store_true",
                               help="record full timelines (slower)")
     sweep_parser.add_argument("--out", default=None, metavar="PATH",
-                              help="stream results to PATH (.jsonl or .csv), one "
+                              help="stream results to PATH (.jsonl/.ndjson or "
+                                   ".csv; .json is rejected — the stream is "
+                                   "JSON Lines, not a JSON document), one "
                                    "record per completed scenario, instead of "
-                                   "holding every summary in memory")
+                                   "holding every summary in memory; existing "
+                                   "files are appended to, never truncated")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="skip scenarios already recorded in --out "
+                                   "and run only the missing ones (rerun an "
+                                   "interrupted sweep; failed scenarios are "
+                                   "retried)")
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(func=cmd_sweep)
 

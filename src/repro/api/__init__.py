@@ -16,7 +16,11 @@ three composable pieces:
   :func:`run_policies` with optional thread-parallel execution;
 * :mod:`repro.api.sinks` — streamed :class:`ResultSink` outputs
   (:class:`JsonlSink` / :class:`CsvSink` / :class:`InMemorySink`) so
-  1000+-scenario sweeps flush results incrementally.
+  1000+-scenario sweeps flush results incrementally.  File sinks are
+  append-only and restart-safe: ``resume=True`` (on the sink or the
+  executor) skips scenarios already recorded, scenarios that raise
+  become structured error records instead of aborting the sweep, and
+  ``completed_keys(path)`` lists what a results file already holds.
 
 Quickstart::
 
@@ -44,15 +48,18 @@ Streaming a week-long fluid sweep to disk::
 """
 
 from repro.api.engine import SimulationEngine
-from repro.api.executor import run_grid, run_policies, run_scenario, runs
+from repro.api.executor import SweepReport, run_grid, run_policies, run_scenario, runs
 from repro.api.fluid_engine import FluidEngine
 from repro.api.sinks import (
     CsvSink,
     InMemorySink,
     JsonlSink,
     ResultSink,
+    completed_keys,
+    error_record,
     read_csv,
     read_jsonl,
+    record_fieldnames,
     sink_for_path,
     summary_record,
 )
@@ -94,8 +101,12 @@ __all__ = [
     "JsonlSink",
     "CsvSink",
     "InMemorySink",
+    "SweepReport",
     "sink_for_path",
     "summary_record",
+    "error_record",
+    "record_fieldnames",
+    "completed_keys",
     "read_jsonl",
     "read_csv",
     "Observer",

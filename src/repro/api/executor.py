@@ -24,7 +24,23 @@ Passing ``sink=`` (a :class:`~repro.api.sinks.ResultSink`) switches the
 executors to *streaming* mode: each summary is handed to the sink as it
 completes — in input order serially, in completion order on pools — and
 is **not** accumulated, so a 1000+-scenario sweep holds one summary at
-a time.  The executor returns the sink itself in that case.
+a time.  The executor returns the sink itself in that case, with a
+:class:`SweepReport` (ran / skipped / failed counts) attached as
+``sink.report``.
+
+Streamed sweeps are *fault-tolerant* and *resumable*:
+
+* a scenario that raises is recorded in the sink as a structured error
+  record (:meth:`~repro.api.sinks.ResultSink.write_error`) and the
+  remaining scenarios keep running — one bad scenario cannot abort a
+  1000-scenario sweep;
+* ``resume=True`` (or a sink constructed with ``resume=True``) skips
+  every scenario whose key the sink already records successfully
+  (:meth:`~repro.api.sinks.ResultSink.completed_keys`), *before* traces
+  are materialised — rerunning an interrupted sweep executes exactly
+  the missing scenarios and appends their records.  Scenario keys are
+  therefore a durability contract: streamed sweeps reject duplicate
+  keys up front instead of silently collapsing them.
 
 ``run_policies`` is the engine-backed successor of the legacy
 ``run_all_policies``: it runs several policies over one trace with a
@@ -36,7 +52,12 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.engine import SimulationEngine
@@ -46,6 +67,33 @@ from repro.api.sinks import ResultSink
 from repro.metrics.summary import RunSummary
 from repro.policies.base import PolicySpec
 from repro.workload.traces import BinnedTrace, Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepReport:
+    """Outcome counts of one streamed sweep (attached as ``sink.report``).
+
+    ``total`` is the full sweep size; ``skipped`` scenarios were already
+    recorded in the sink and not rerun (``resume``), ``ran`` completed
+    and wrote a summary record, ``failed`` raised and wrote an error
+    record.  ``skipped + ran + failed == total`` unless the sweep itself
+    was interrupted again.
+    """
+
+    total: int
+    skipped: int
+    ran: int
+    failed: int
+
+
+def _duplicate_keys(keys: Sequence[str]) -> List[str]:
+    seen: set = set()
+    duplicates: List[str] = []
+    for key in keys:
+        if key in seen and key not in duplicates:
+            duplicates.append(key)
+        seen.add(key)
+    return duplicates
 
 
 @dataclasses.dataclass
@@ -268,32 +316,74 @@ def _stream(
     lean: bool,
     mode: str,
     sink: ResultSink,
-) -> None:
+    skipped: int = 0,
+) -> SweepReport:
     """Run jobs and hand each summary to the sink as it completes.
 
     Summaries are never accumulated: serially they arrive in input
     order; on a pool, in completion order (every record names its
     scenario, so order carries no information).  The sink is opened
     before the first result and closed afterwards, also on error.
+
+    A job that raises does not abort the sweep: the exception becomes a
+    structured error record (``sink.write_error``) and every other job
+    still runs.  Only a *sink* failure (or an interrupt) stops the
+    sweep — pending pool futures are cancelled then, so the pool
+    shutdown does not start queued jobs whose results nobody will
+    write, and the ``with sink:`` exit closes the file after the last
+    completed write.  The resulting :class:`SweepReport` is attached as
+    ``sink.report`` (even on an interrupted sweep, with partial counts).
     """
+    ran = failed = 0
+
+    def _consume(key: str, run) -> None:
+        nonlocal ran, failed
+        try:
+            summary = run()
+        except BrokenExecutor:
+            # A dead pool (e.g. an OOM-killed process worker) fails
+            # every remaining future — that is infrastructure, not the
+            # scenarios: recording it per scenario would fill the file
+            # with bogus error records for work that never ran.  Abort
+            # like a sink failure instead.
+            raise
+        except Exception as error:
+            sink.write_error(key, error)
+            failed += 1
+        else:
+            sink.write(key, summary)
+            ran += 1
+
     with sink:
-        if not workers or workers <= 1:
-            for key, job in zip(keys, jobs):
-                sink.write(key, _run_job(job, lean))
-            return
-        with _pool_for(mode, workers) as pool:
-            isolate = mode == "thread"
-            futures = {
-                pool.submit(_run_job, job, lean, isolate): key
-                for key, job in zip(keys, jobs)
-            }
-            # as_completed snapshots the future set up front, so popping
-            # entries while iterating is safe — and necessary: holding
-            # the dict until the loop ends would keep every completed
-            # summary alive, defeating the sink's memory bound.
-            for future in as_completed(futures):
-                key = futures.pop(future)
-                sink.write(key, future.result())
+        try:
+            if not workers or workers <= 1:
+                for key, job in zip(keys, jobs):
+                    _consume(key, lambda: _run_job(job, lean))
+            else:
+                with _pool_for(mode, workers) as pool:
+                    isolate = mode == "thread"
+                    futures = {
+                        pool.submit(_run_job, job, lean, isolate): key
+                        for key, job in zip(keys, jobs)
+                    }
+                    # as_completed snapshots the future set up front, so
+                    # popping entries while iterating is safe — and
+                    # necessary: holding the dict until the loop ends
+                    # would keep every completed summary alive,
+                    # defeating the sink's memory bound.
+                    try:
+                        for future in as_completed(futures):
+                            key = futures.pop(future)
+                            _consume(key, future.result)
+                    except BaseException:
+                        for pending in futures:
+                            pending.cancel()
+                        raise
+        finally:
+            sink.report = SweepReport(
+                total=len(jobs) + skipped, skipped=skipped, ran=ran, failed=failed
+            )
+    return sink.report
 
 
 def runs(
@@ -302,6 +392,7 @@ def runs(
     lean: bool = False,
     mode: str = "thread",
     sink: Optional[ResultSink] = None,
+    resume: bool = False,
 ) -> Union[List[RunSummary], ResultSink]:
     """Run many scenarios, returning summaries in input order.
 
@@ -314,13 +405,44 @@ def runs(
 
     With ``sink`` set, every summary is written to the sink as it
     completes (keyed by :attr:`Scenario.key`) instead of being
-    accumulated, and the sink itself is returned.
+    accumulated, and the sink itself is returned with ``sink.report``
+    counting ran/skipped/failed scenarios.  Scenario keys must then be
+    unique — they are the records' identity.  ``resume=True`` (implied
+    by a sink constructed with ``resume=True``) skips scenarios the
+    sink already records successfully, before their traces are built,
+    so rerunning an interrupted sweep costs only the missing scenarios.
     """
     scenarios = list(scenarios)
-    jobs = _prepared(scenarios)
     if sink is None:
-        return _execute(jobs, workers, lean, mode)
-    _stream(jobs, [s.key for s in scenarios], workers, lean, mode, sink)
+        if resume:
+            raise ValueError(
+                "resume=True requires sink=; the sink's existing records "
+                "define which scenarios to skip"
+            )
+        return _execute(_prepared(scenarios), workers, lean, mode)
+    keys = [s.key for s in scenarios]
+    duplicates = _duplicate_keys(keys)
+    if duplicates:
+        raise ValueError(
+            "duplicate scenario key(s) "
+            + ", ".join(repr(key) for key in duplicates)
+            + ": streamed records are keyed by Scenario.key, so duplicates "
+            "would collide in the sink (and make resume skip work that "
+            "never ran) — disambiguate with Scenario.label"
+        )
+    skipped = 0
+    if resume or sink.resume:
+        done = sink.completed_keys()
+        if done:
+            kept = [
+                (key, scenario)
+                for key, scenario in zip(keys, scenarios)
+                if key not in done
+            ]
+            skipped = len(scenarios) - len(kept)
+            keys = [key for key, _ in kept]
+            scenarios = [scenario for _, scenario in kept]
+    _stream(_prepared(scenarios), keys, workers, lean, mode, sink, skipped=skipped)
     return sink
 
 
@@ -330,16 +452,24 @@ def run_grid(
     lean: bool = False,
     mode: str = "thread",
     sink: Optional[ResultSink] = None,
+    resume: bool = False,
 ) -> Union[Dict[str, RunSummary], ResultSink]:
     """Run a scenario grid; summaries are keyed by :attr:`Scenario.key`.
 
+    Duplicate keys are rejected by :class:`ScenarioGrid` construction —
+    a silent dict collapse would lose results here and make ``resume``
+    skip scenarios that never ran.
+
     With ``sink`` set, results stream into the sink as they complete
-    (nothing is accumulated) and the sink is returned.
+    (nothing is accumulated) and the sink is returned; ``resume=True``
+    skips scenarios the sink already records (see :func:`runs`).
     """
     if not isinstance(grid, ScenarioGrid):
         grid = ScenarioGrid(grid)
-    if sink is not None:
-        return runs(grid, workers=workers, lean=lean, mode=mode, sink=sink)
+    if sink is not None or resume:
+        return runs(
+            grid, workers=workers, lean=lean, mode=mode, sink=sink, resume=resume
+        )
     summaries = runs(grid, workers=workers, lean=lean, mode=mode)
     return {scenario.key: summary for scenario, summary in zip(grid, summaries)}
 
@@ -353,6 +483,7 @@ def run_policies(
     mode: str = "thread",
     backend: str = "event",
     sink: Optional[ResultSink] = None,
+    resume: bool = False,
 ) -> Union[Dict[str, RunSummary], ResultSink]:
     """Run several policies on one trace with a shared static budget.
 
@@ -364,14 +495,50 @@ def run_policies(
     the budget sizing happens inside the fluid runner from the binned
     peaks instead.
 
+    Results are keyed by policy name, so duplicate
+    :attr:`PolicySpec.name` entries are rejected — a silent dict
+    collapse would lose results (and with ``resume``, skip work that
+    never ran).
+
     With ``sink`` set, summaries stream into the sink keyed by policy
-    name and the sink is returned.
+    name and the sink is returned with ``sink.report`` attached;
+    ``resume=True`` (implied by a sink constructed with ``resume=True``)
+    skips policies the sink already records successfully *for this
+    trace* — the policy-name keys do not encode the trace, so the
+    completed set is filtered by the records' ``trace`` column.
     """
     from repro.experiments.runner import ExperimentConfig, recommended_static_servers
 
     config = config or ExperimentConfig()
+    specs = list(specs)
+    duplicates = _duplicate_keys([spec.name for spec in specs])
+    if duplicates:
+        raise ValueError(
+            "duplicate policy name(s) "
+            + ", ".join(repr(name) for name in duplicates)
+            + ": run_policies keys results by PolicySpec.name, so duplicates "
+            "would silently collide"
+        )
+    if sink is None and resume:
+        raise ValueError(
+            "resume=True requires sink=; the sink's existing records "
+            "define which policies to skip"
+        )
+    skipped = 0
+    if sink is not None and (resume or sink.resume):
+        # Records are keyed by bare policy name, which does not encode
+        # the trace — filter the completed set to *this* trace so a
+        # sink file shared across sweeps cannot skip another sweep's
+        # work.  Filtering happens before the budget computation below:
+        # a fully-completed resume must not pay trace profiling.
+        done = sink.completed_keys(trace=trace.name)
+        if done:
+            kept = [spec for spec in specs if spec.name not in done]
+            skipped = len(specs) - len(kept)
+            specs = kept
     if (
-        backend == "event"
+        specs
+        and backend == "event"
         and config.static_servers is None
         and isinstance(trace, Trace)
     ):
@@ -382,14 +549,16 @@ def run_policies(
             trace, profile, config.scheme or DEFAULT_SCHEME
         )
         config = dataclasses.replace(config, static_servers=budget)
-    specs = list(specs)
     scenarios = [
         Scenario(policy=spec, trace=trace, backend=backend, base_config=config)
         for spec in specs
     ]
-    if sink is not None:
-        jobs = _prepared(scenarios)
-        _stream(jobs, [spec.name for spec in specs], workers, lean, mode, sink)
-        return sink
-    summaries = runs(scenarios, workers=workers, lean=lean, mode=mode)
-    return {spec.name: summary for spec, summary in zip(specs, summaries)}
+    if sink is None:
+        summaries = runs(scenarios, workers=workers, lean=lean, mode=mode)
+        return {spec.name: summary for spec, summary in zip(specs, summaries)}
+    jobs = _prepared(scenarios)
+    _stream(
+        jobs, [spec.name for spec in specs], workers, lean, mode, sink,
+        skipped=skipped,
+    )
+    return sink

@@ -22,13 +22,33 @@ Three built-in sinks:
 Every record is a flat :func:`summary_record` dict, so files written by
 either file sink round-trip through :func:`read_jsonl` /
 :func:`read_csv` (pinned by the property suite).
+
+Durability contract
+-------------------
+The file sinks are restart-safe: opening one on an existing results
+file **appends** — it never truncates — so a sweep killed 900 scenarios
+into a 1000-scenario grid keeps its first 900 records.  ``count`` seeds
+from the records already on disk, :class:`CsvSink` reuses the existing
+header instead of writing a second one, and a *torn* final line left by
+a crash mid-write is repaired on open (the partial record is dropped;
+:func:`read_jsonl` / :func:`read_csv` tolerate it too).  The scenario
+keys stored in the ``scenario`` column are the resume identity:
+:func:`completed_keys` lists the keys already recorded successfully,
+and the executors' ``resume=True`` (or a sink constructed with
+``resume=True``) skips exactly those, so the rerun executes only the
+missing scenarios.  A scenario that *raises* is recorded as a
+structured :func:`error_record` (``error`` is non-``None``) via
+:meth:`ResultSink.write_error`; error records do not count as
+completed, so a resumed sweep retries them.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
-from typing import Dict, IO, List, Optional
+import os
+from typing import Dict, IO, List, Optional, Set
 
 from repro.metrics.summary import RunSummary
 
@@ -41,6 +61,10 @@ def summary_record(key: str, summary: RunSummary) -> Dict[str, object]:
     the CLI automatically); this wraps them with identity columns and
     the streaming carbon/cost totals (post-hoc accounting is the
     fallback for summaries produced without the default observer set).
+    ``error`` is ``None`` on every successful record — it is the column
+    :func:`error_record` fills (error records carry only the identity
+    and error columns; the metric columns exist in the CSV header but
+    stay empty for them).
     """
     record: Dict[str, object] = {
         "scenario": key,
@@ -61,7 +85,58 @@ def summary_record(key: str, summary: RunSummary) -> Dict[str, object]:
         summary.cost.total_usd if summary.cost is not None else summary.cost_usd()
     )
     record["pool_slo_attainment"] = dict(summary.pool_slo_attainment)
+    record["error"] = None
     return record
+
+
+def error_record(key: str, error: BaseException) -> Dict[str, object]:
+    """The structured record of a scenario that raised instead of completing.
+
+    Shares the ``scenario`` identity and ``error`` columns with
+    :func:`summary_record` but carries no metric fields (there is no
+    summary) — consumers should filter on ``record.get("error")``
+    before indexing metric columns.  ``error`` holds
+    ``"ExceptionType: message"`` with whitespace runs collapsed: a raw
+    newline inside a CSV cell would leave a torn-row crash ambiguous
+    (see ``CsvSink._repair``).  Records with a non-empty ``error`` are
+    excluded from :func:`completed_keys`, so a resumed sweep reruns the
+    failed scenario — its fresh record appends after the stale error
+    record.
+    """
+    message = " ".join(f"{type(error).__name__}: {error}".split())
+    return {
+        "scenario": key,
+        "error": message,
+    }
+
+
+#: Lazily-computed canonical column set of :func:`summary_record` (the
+#: schema is static — identity columns + the headline scoreboard).
+_RECORD_FIELDNAMES: Optional[List[str]] = None
+
+
+def record_fieldnames() -> List[str]:
+    """The canonical column order of :func:`summary_record`.
+
+    Derived from an empty :class:`RunSummary`, so any field added to
+    ``RunSummary.headline`` appears here automatically.  Lets
+    :class:`CsvSink` write its header up front — before the first
+    result, even if that result is an error record — keeping one schema
+    across interrupted, failed and resumed sweeps.
+    """
+    global _RECORD_FIELDNAMES
+    if _RECORD_FIELDNAMES is None:
+        from repro.metrics.energy import EnergyAccount
+        from repro.metrics.latency import LatencyStats
+        from repro.metrics.power import PowerTimeSeries
+
+        dummy = RunSummary(
+            policy="", trace="", duration_s=0.0,
+            energy=EnergyAccount(), latency=LatencyStats(),
+            power=PowerTimeSeries(),
+        )
+        _RECORD_FIELDNAMES = list(summary_record("", dummy))
+    return list(_RECORD_FIELDNAMES)
 
 
 class ResultSink:
@@ -72,12 +147,38 @@ class ResultSink:
     protocol, so sinks are usable in ``with`` blocks directly).
     """
 
+    #: Executors treat a truthy ``resume`` as ``resume=True``: scenarios
+    #: whose keys :meth:`completed_keys` reports are skipped.
+    resume: bool = False
+    #: The executors attach a :class:`repro.api.executor.SweepReport`
+    #: (ran / skipped / failed counts) here after a streamed sweep.
+    report = None
+
     def open(self) -> None:  # pragma: no cover - hook
         """Called once before the first result."""
 
     def write(self, key: str, summary: RunSummary) -> None:
         """Called once per completed scenario, in completion order."""
         raise NotImplementedError
+
+    def write_error(self, key: str, error: BaseException) -> None:
+        """Called for a scenario that raised instead of completing.
+
+        The default records nothing (the executor still counts the
+        failure in its report); sinks that persist records should write
+        an :func:`error_record` so the failure is visible in the file
+        and the scenario is retried on resume.
+        """
+
+    def completed_keys(self, trace: Optional[str] = None) -> Set[str]:
+        """Scenario keys already recorded successfully (for ``resume``).
+
+        ``trace`` narrows the answer to records of that trace —
+        ``run_policies`` keys records by bare policy name, so without
+        the filter a sink reused across sweeps of *different* traces
+        would skip each other's work.
+        """
+        return set()
 
     def close(self) -> None:  # pragma: no cover - hook
         """Called once after the last result (also on error)."""
@@ -95,38 +196,86 @@ class InMemorySink(ResultSink):
 
     def __init__(self) -> None:
         self.results: Dict[str, RunSummary] = {}
+        self.errors: Dict[str, BaseException] = {}
 
     def write(self, key: str, summary: RunSummary) -> None:
         self.results[key] = summary
+
+    def write_error(self, key: str, error: BaseException) -> None:
+        self.errors[key] = error
+
+    def completed_keys(self, trace: Optional[str] = None) -> Set[str]:
+        if trace is None:
+            return set(self.results)
+        return {
+            key for key, summary in self.results.items() if summary.trace == trace
+        }
 
     def __len__(self) -> int:
         return len(self.results)
 
 
-class JsonlSink(ResultSink):
-    """Appends one JSON line per result, flushed as soon as it completes."""
+class _FileSink(ResultSink):
+    """Append-only file sink base: restart seeding and torn-tail repair.
 
-    def __init__(self, path: str) -> None:
+    Subclasses provide ``_repair(data)`` — given the file's current
+    bytes, return ``(bytes_to_keep, record_count)``.  ``bytes_to_keep``
+    below ``len(data)`` truncates a torn final record a crash mid-write
+    left behind; ``len(data) + 1`` appends the newline a complete final
+    record is missing.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
         self.path = path
+        self.resume = resume
+        #: Records in the file: seeded from disk on open, then
+        #: incremented per write (success or error), so it always
+        #: matches the file's record count.
         self.count = 0
+        #: Successful / error records written by *this* sink instance.
+        self.written = 0
+        self.failed = 0
         self._handle: Optional[IO[str]] = None
-        self._opened_once = False
+        self._seeded = False
+
+    def completed_keys(self, trace: Optional[str] = None) -> Set[str]:
+        # Seed (and so repair a torn tail) *before* reading: a torn CSV
+        # row can look complete to the reader while the repair is about
+        # to truncate it — counting it as done would skip its scenario
+        # and then delete its record.
+        if not self._seeded:
+            self._seed_from_disk()
+        return completed_keys(self.path, trace=trace)
 
     def open(self) -> None:
-        if self._handle is None:
-            # First open truncates; reuse across sweeps appends, so
-            # `count` always matches the file's line count.
-            self._handle = open(
-                self.path, "a" if self._opened_once else "w", encoding="utf-8"
-            )
-            self._opened_once = True
+        if self._handle is not None:
+            return
+        if not self._seeded:
+            self._seed_from_disk()
+        self._handle = open(self.path, "a", newline="", encoding="utf-8")
 
-    def write(self, key: str, summary: RunSummary) -> None:
-        if self._handle is None:
-            self.open()
-        self._handle.write(json.dumps(summary_record(key, summary)) + "\n")
-        self._handle.flush()
-        self.count += 1
+    def _seed_from_disk(self) -> None:
+        self._seeded = True
+        try:
+            handle = open(self.path, "rb+")
+        except FileNotFoundError:
+            return
+        with handle:
+            data = handle.read()
+            keep, self.count = self._repair(data)
+            if keep < len(data):
+                # Drop the torn final record a crash mid-write left
+                # behind (never a complete record — those stay intact).
+                handle.seek(keep)
+                handle.truncate()
+            elif keep > len(data):
+                # A complete final record merely missing its newline
+                # separator (written by another tool): terminate it so
+                # the append starts on a fresh line.
+                handle.write(b"\n")
+
+    def _repair(self, data: bytes):  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def close(self) -> None:
         if self._handle is not None:
@@ -134,62 +283,180 @@ class JsonlSink(ResultSink):
             self._handle = None
 
 
-class CsvSink(ResultSink):
-    """Appends one CSV row per result; nested values are JSON-encoded.
+class JsonlSink(_FileSink):
+    """Appends one JSON line per result, flushed as soon as it completes.
 
-    The header is taken from the first record (all records share the
-    :func:`summary_record` schema).
+    Opening the sink on an existing results file appends after the
+    records already there (``count`` seeds from them); it never
+    truncates.  With ``resume=True`` the executors additionally skip
+    scenarios the file already records successfully.
     """
-
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.count = 0
-        self._handle: Optional[IO[str]] = None
-        self._writer = None
-        self._opened_once = False
-
-    def open(self) -> None:
-        if self._handle is None:
-            # First open truncates and writes the header; reuse appends.
-            self._handle = open(
-                self.path, "a" if self._opened_once else "w",
-                newline="", encoding="utf-8",
-            )
-            self._opened_once = True
 
     def write(self, key: str, summary: RunSummary) -> None:
         if self._handle is None:
             self.open()
-        record = summary_record(key, summary)
+        self._write_line(summary_record(key, summary))
+        self.written += 1
+
+    def write_error(self, key: str, error: BaseException) -> None:
+        if self._handle is None:
+            self.open()
+        self._write_line(error_record(key, error))
+        self.failed += 1
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        self.count += 1
+
+    def _repair(self, data: bytes):
+        keep = len(data)
+        if data and not data.endswith(b"\n"):
+            tail = data.rpartition(b"\n")[2]
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                # Torn final line: keep everything before it.
+                keep = len(data) - len(tail)
+                data = data[:keep]
+            else:
+                # Complete record merely missing its newline: keep it
+                # and have the base class write the separator.
+                keep = len(data) + 1
+        elif data:
+            # A newline-terminated final line can still be torn (a
+            # truncation landing exactly on the terminator).  The
+            # readers tolerate it only while it is *last* — appending
+            # after it would turn it into a hard read error — so the
+            # repair must drop exactly what the readers drop.
+            start = data[:-1].rfind(b"\n") + 1
+            last = data[start:].strip()
+            if last:
+                try:
+                    json.loads(last.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    keep = start
+                    data = data[:keep]
+        count = sum(1 for line in data.split(b"\n") if line.strip())
+        return keep, count
+
+
+class CsvSink(_FileSink):
+    """Appends one CSV row per result; nested values are JSON-encoded.
+
+    The header is the canonical :func:`record_fieldnames` schema,
+    written up front on a fresh file — before the first result, so an
+    error record arriving first (or an error-only sweep) leaves the
+    same schema a successful sweep would.  Opening the sink on an
+    existing results file reuses the header already there — ``count``
+    seeds from the data rows and no second header is written; the file
+    is never truncated.  Error records (:meth:`write_error`) fill the
+    shared ``error`` column and leave the metric cells empty; columns
+    the header does not name are dropped (an older file keeps its own
+    schema consistently rather than gaining misaligned cells).
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
+        super().__init__(path, resume=resume)
+        self._writer = None
+        self._fieldnames: Optional[List[str]] = None
+        self._has_header = False
+
+    def open(self) -> None:
+        super().open()
         if self._writer is None:
-            self._writer = csv.DictWriter(self._handle, fieldnames=list(record))
-            if self.count == 0:
+            if self._fieldnames is None:
+                self._fieldnames = record_fieldnames()
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=self._fieldnames, restval=""
+            )
+            if not self._has_header:
                 self._writer.writeheader()
+                self._handle.flush()
+                self._has_header = True
+
+    def write(self, key: str, summary: RunSummary) -> None:
+        if self._handle is None:
+            self.open()
+        self._write_row(summary_record(key, summary))
+        self.written += 1
+
+    def write_error(self, key: str, error: BaseException) -> None:
+        if self._handle is None:
+            self.open()
+        if "error" not in self._fieldnames:
+            # A header without the error column predates error records.
+            # Writing the row anyway would strip the message, leaving a
+            # record that reads as a *success* — the failed scenario
+            # would never be retried.  Refuse loudly instead.
+            raise ValueError(
+                f"{self.path} has no 'error' column (written before error "
+                f"records existed), so the failure of {key!r} cannot be "
+                "recorded — rerun into a fresh results file"
+            ) from error
+        self._write_row(error_record(key, error))
+        self.failed += 1
+
+    def _write_row(self, record: Dict[str, object]) -> None:
         self._writer.writerow(
             {
                 name: json.dumps(value) if isinstance(value, (dict, list)) else value
                 for name, value in record.items()
+                if name in self._writer.fieldnames
             }
         )
         self._handle.flush()
         self.count += 1
 
+    def _repair(self, data: bytes):
+        if data and not data.endswith(b"\n"):
+            # The csv writer terminates every row (and error_record
+            # keeps raw newlines out of cells), so a file not ending in
+            # a newline was torn mid-row — keep the complete rows only.
+            tail = data.rpartition(b"\n")[2]
+            data = data[: len(data) - len(tail)]
+        text = data.decode("utf-8")
+        rows = list(csv.reader(io.StringIO(text))) if text.strip() else []
+        if len(rows) > 1 and len(rows[-1]) < len(rows[0]):
+            # A newline-terminated final row short of columns is the
+            # other torn-write shape (truncation landing on the row
+            # terminator).  ``read_csv`` tolerates it only while it is
+            # last; drop it so appended records cannot strand it as a
+            # corrupt middle row.
+            start = data[:-1].rfind(b"\n") + 1
+            data = data[:start]
+            rows.pop()
+        if rows:
+            self._fieldnames = rows[0]
+            self._has_header = True
+        return len(data), max(0, len(rows) - 1)
+
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-            self._writer = None
+        super().close()
+        self._writer = None
 
 
-def sink_for_path(path: str) -> ResultSink:
-    """The file sink matching ``path``'s extension (.jsonl/.json or .csv)."""
+def sink_for_path(path: str, resume: bool = False) -> ResultSink:
+    """The file sink matching ``path``'s extension (.jsonl/.ndjson or .csv).
+
+    ``.json`` is rejected: the sink writes one JSON object per line
+    (JSON Lines), and many objects on separate lines is not a valid
+    ``.json`` document.
+    """
     lowered = path.lower()
     if lowered.endswith(".csv"):
-        return CsvSink(path)
-    if lowered.endswith((".jsonl", ".json", ".ndjson")):
-        return JsonlSink(path)
+        return CsvSink(path, resume=resume)
+    if lowered.endswith((".jsonl", ".ndjson")):
+        return JsonlSink(path, resume=resume)
+    if lowered.endswith(".json"):
+        raise ValueError(
+            f"refusing to write {path!r}: the sink streams one JSON object "
+            "per line (JSON Lines), which is not a valid .json document — "
+            "use a .jsonl or .ndjson extension"
+        )
     raise ValueError(
-        f"cannot infer sink format from {path!r}; use a .jsonl or .csv extension"
+        f"cannot infer sink format from {path!r}; use a .jsonl, .ndjson or "
+        ".csv extension"
     )
 
 
@@ -197,13 +464,28 @@ def sink_for_path(path: str) -> ResultSink:
 # Readers (round-trip counterparts of the file sinks)
 # ----------------------------------------------------------------------
 def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Records written by a :class:`JsonlSink`, in file order."""
+    """Records written by a :class:`JsonlSink`, in file order.
+
+    A torn *final* line — the partial record a killed sweep leaves
+    behind — is tolerated and dropped; an unparsable line anywhere else
+    means the file is corrupt and raises ``ValueError``.
+    """
     records: List[Dict[str, object]] = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [
+            (number, line.strip())
+            for number, line in enumerate(handle, start=1)
+            if line.strip()
+        ]
+    for index, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if index == len(lines) - 1:
+                break  # torn final record from a crash mid-write
+            raise ValueError(
+                f"{path}:{number}: unparsable JSONL record: {error}"
+            ) from None
     return records
 
 
@@ -217,19 +499,55 @@ def read_csv(path: str) -> List[Dict[str, object]]:
 
     Non-identity cells are decoded as JSON where possible (numbers,
     nested maps — Python float reprs round-trip exactly); identity
-    columns and anything undecodable stay strings.
+    columns and anything undecodable stay strings, and empty cells
+    (``None`` values, or columns an :func:`error_record` left blank)
+    decode to ``None``.  A short *final* row — torn by a crash
+    mid-write — is dropped.
     """
     records: List[Dict[str, object]] = []
     with open(path, newline="", encoding="utf-8") as handle:
-        for row in csv.DictReader(handle):
-            record: Dict[str, object] = {}
-            for name, cell in row.items():
-                if name in _STRING_COLUMNS:
-                    record[name] = cell
-                    continue
-                try:
-                    record[name] = json.loads(cell)
-                except (json.JSONDecodeError, TypeError):
-                    record[name] = cell
-            records.append(record)
+        rows = list(csv.DictReader(handle, restval=None))
+    for index, row in enumerate(rows):
+        if any(value is None for value in row.values()):
+            if index == len(rows) - 1:
+                break  # torn final row from a crash mid-write
+            raise ValueError(f"{path}: row {index + 1} is missing columns")
+        record: Dict[str, object] = {}
+        for name, cell in row.items():
+            if name in _STRING_COLUMNS:
+                record[name] = cell
+                continue
+            if cell == "":
+                record[name] = None
+                continue
+            try:
+                record[name] = json.loads(cell)
+            except (json.JSONDecodeError, TypeError):
+                record[name] = cell
+        records.append(record)
     return records
+
+
+def completed_keys(path: str, trace: Optional[str] = None) -> Set[str]:
+    """Scenario keys with a successful record already in ``path``.
+
+    The reader matching the extension is used (missing files read as
+    empty — a resumed sweep that never started is just a fresh sweep).
+    Records whose ``error`` column is non-empty do **not** count: a
+    resumed sweep retries scenarios that previously raised.  ``trace``
+    keeps only records of that trace — the resume filter for record
+    keys (policy names) that do not themselves encode the trace.
+    """
+    if not os.path.exists(path):
+        return set()
+    if path.lower().endswith(".csv"):
+        records = read_csv(path)
+    else:
+        records = read_jsonl(path)
+    return {
+        str(record["scenario"])
+        for record in records
+        if record.get("scenario") not in (None, "")
+        and not record.get("error")
+        and (trace is None or record.get("trace") == trace)
+    }

@@ -2,15 +2,24 @@
 
 These use the fluid (binned) simulator — the reproduction's counterpart
 of the paper's discrete-time simulator — over synthetic day- and
-week-long traces for the Conversation and Coding services.  The classic
-figure drivers call :class:`~repro.experiments.fluid.FluidRunner`
-directly; :func:`weekly_policy_summaries` runs the same week through
-the unified :mod:`repro.api` layer (``Scenario(backend="fluid")``),
-which adds observer-based carbon/cost accounting, grid parallelism and
-streamed :class:`~repro.api.sinks.ResultSink` output on top of the
-byte-identical fluid accounting.  ``figure14_weekly_energy`` accepts
-``workers`` to evaluate the services concurrently (one independent
-runner per service, results identical to a serial run).
+week-long traces for the Conversation and Coding services.
+
+:func:`weekly_policy_summaries`, :func:`figure15_daily_energy` and
+:func:`figure16_carbon` run through the unified :mod:`repro.api` layer
+(``Scenario(backend="fluid")`` via
+:func:`~repro.api.executor.run_policies`), which adds observer-based
+carbon/cost accounting, parallelism (``workers=``) and streamed
+:class:`~repro.api.sinks.ResultSink` output on top of accounting that
+is byte-identical to a direct :class:`~repro.experiments.fluid.FluidRunner`
+run (pinned by ``tests/test_backends.py``).  Passing ``sink=`` streams
+one record per policy as it completes and returns the sink —
+``resume=True`` then skips policies the sink already records, so an
+interrupted week-scale replay reruns only the missing systems.
+
+``figure14_weekly_energy`` keeps the classic direct-runner path (its
+``workers`` evaluates the services concurrently, one independent runner
+per service, results identical to a serial run); ``cost_summary``
+likewise — their registry twins are the API-backed drivers above.
 """
 
 from __future__ import annotations
@@ -69,6 +78,7 @@ def weekly_policy_summaries(
     policies=ALL_POLICIES,
     workers: Optional[int] = None,
     sink=None,
+    resume: bool = False,
     bin_seconds: float = 300.0,
 ):
     """Figure 14's week, run through the Scenario API's fluid backend.
@@ -77,16 +87,68 @@ def weekly_policy_summaries(
     policy (streaming carbon / cost / GPU-hours included) whose energy
     accounting is byte-for-byte the classic ``FluidRunner`` result.
     With ``sink`` set, summaries stream into it as they complete and the
-    sink is returned instead — the memory-bounded path for wide grids.
+    sink is returned instead — the memory-bounded path for wide grids;
+    ``resume=True`` additionally skips policies the sink already
+    records, making interrupted week-scale sweeps restartable.
     """
     from repro.api.executor import run_policies
 
     trace = BinnedTrace(
-        name=f"{service}-week",
+        name=_week_trace_name(f"{service}-week", rate_scale, bin_seconds),
         bins=week_bins(service, rate_scale=rate_scale, bin_seconds=bin_seconds),
     )
     return run_policies(
-        trace, policies, workers=workers, backend="fluid", sink=sink
+        trace, policies, workers=workers, backend="fluid", sink=sink, resume=resume
+    )
+
+
+def _week_trace_name(
+    stem: str, rate_scale: float, bin_seconds: float = 300.0, model: Optional[ModelSpec] = None
+) -> str:
+    """Trace name encoding the sweep parameters it was built with.
+
+    The name is the resume identity for records keyed by bare policy
+    name (``run_policies``), so every parameter that changes the
+    numbers must appear in it — otherwise rerunning a driver with,
+    say, a different ``rate_scale`` against the same sink file would
+    silently skip and present the stale records as this sweep's.
+    """
+    name = f"{stem}-x{rate_scale:g}"
+    if bin_seconds != 300.0:
+        name += f"-b{bin_seconds:g}"
+    if model is not None and model.name != LLAMA2_70B.name:
+        name += f"-{model.name}"
+    return name
+
+
+def _api_policy_summaries(
+    trace: BinnedTrace,
+    model: ModelSpec,
+    policies,
+    workers: Optional[int],
+    sink,
+    resume: bool,
+):
+    """Run ``policies`` over one binned trace via the Scenario API.
+
+    The shared plumbing of the figure-15/16 drivers: one
+    :func:`~repro.api.executor.run_policies` call on the fluid backend,
+    whose per-bin energy accounting is byte-identical to a direct
+    ``FluidRunner.run`` (the equivalence suite pins it).  With ``sink``
+    set the sink is returned (records stream as policies complete, and
+    ``resume`` skips the ones already recorded).
+    """
+    from repro.api.executor import run_policies
+    from repro.experiments.runner import ExperimentConfig
+
+    return run_policies(
+        trace,
+        policies,
+        config=ExperimentConfig(model=model),
+        workers=workers,
+        backend="fluid",
+        sink=sink,
+        resume=resume,
     )
 
 
@@ -95,18 +157,35 @@ def figure15_daily_energy(
     model: ModelSpec = LLAMA2_70B,
     rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
     bin_seconds: float = 300.0,
+    workers: Optional[int] = None,
+    sink=None,
+    resume: bool = False,
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """Figure 15: energy per 5-minute interval over one day, both systems."""
-    runner = FluidRunner(model=model)
+    """Figure 15: energy per 5-minute interval over one day, both systems.
+
+    Runs through the sink-backed fluid Scenario API: with ``sink`` set
+    the per-policy records stream to it and the sink is returned
+    (``resume=True`` skips recorded policies — the restartable path for
+    week-scale replays); without one, the figure payload is built from
+    the in-memory summaries' per-bin energy timelines, numerically
+    identical to the classic direct ``FluidRunner`` driver.
+    """
     bins = week_bins(service, rate_scale=rate_scale, bin_seconds=bin_seconds)
     day_bins = [
         b for b in bins if SECONDS_PER_DAY <= b.start_time < 2 * SECONDS_PER_DAY
     ]
-    baseline = runner.run(SINGLE_POOL, day_bins)
-    dynamo = runner.run(DYNAMO_LLM, day_bins)
+    trace = BinnedTrace(
+        name=_week_trace_name(f"{service}-day2", rate_scale, bin_seconds, model),
+        bins=day_bins,
+    )
+    result = _api_policy_summaries(
+        trace, model, (SINGLE_POOL, DYNAMO_LLM), workers, sink, resume
+    )
+    if sink is not None:
+        return result
     return {
-        "SinglePool": [(t, wh / 1000.0) for t, wh in baseline.energy_timeline_wh],
-        "DynamoLLM": [(t, wh / 1000.0) for t, wh in dynamo.energy_timeline_wh],
+        name: [(t, wh / 1000.0) for t, wh in summary.energy.timeline]
+        for name, summary in result.items()
     }
 
 
@@ -115,24 +194,55 @@ def figure16_carbon(
     model: ModelSpec = LLAMA2_70B,
     rate_scale: float = DEFAULT_WEEK_RATE_SCALE,
     intensity: Optional[CarbonIntensityTrace] = None,
+    workers: Optional[int] = None,
+    sink=None,
+    resume: bool = False,
 ) -> Dict[str, object]:
-    """Figure 16: CO2 emission rate over the week, plus weekly totals (tonnes)."""
+    """Figure 16: CO2 emission rate over the week, plus weekly totals (tonnes).
+
+    Like :func:`figure15_daily_energy`, runs both systems through the
+    sink-backed fluid Scenario API; with ``sink`` set the sink is
+    returned (resumable streamed records), otherwise the carbon figure
+    is derived from the summaries' energy timelines — the same
+    computation (and numbers) as the classic ``FluidRunner`` driver.
+    A custom ``intensity`` only applies to the in-memory path: streamed
+    records carry the default-grid carbon accounting of the standard
+    observers, so combining it with ``sink`` is rejected rather than
+    silently writing wrong numbers.
+    """
+    if sink is not None and intensity is not None:
+        raise ValueError(
+            "a custom carbon intensity cannot be applied to streamed "
+            "records (sink rows carry the default-grid accounting); drop "
+            "sink= and build the figure from the in-memory summaries"
+        )
     intensity = intensity or CarbonIntensityTrace()
-    runner = FluidRunner(model=model)
-    bins = week_bins(service, rate_scale=rate_scale)
-    baseline = runner.run(SINGLE_POOL, bins)
-    dynamo = runner.run(DYNAMO_LLM, bins)
+    trace = BinnedTrace(
+        # "fig16" keeps this distinct from weekly_policy_summaries'
+        # week, whose records would otherwise satisfy this driver's
+        # resume despite the different model/config.
+        name=_week_trace_name(f"{service}-week-fig16", rate_scale, model=model),
+        bins=week_bins(service, rate_scale=rate_scale),
+    )
+    result = _api_policy_summaries(
+        trace, model, (SINGLE_POOL, DYNAMO_LLM), workers, sink, resume
+    )
+    if sink is not None:
+        return result
+    baseline, dynamo = result["SinglePool"], result["DynamoLLM"]
+    baseline_kg = baseline.carbon_kg(intensity)
+    dynamo_kg = dynamo.carbon_kg(intensity)
     return {
         "timeline_kg_per_h": {
-            "SinglePool": carbon_timeline_kg_per_h(baseline.energy_timeline_wh, intensity),
-            "DynamoLLM": carbon_timeline_kg_per_h(dynamo.energy_timeline_wh, intensity),
+            "SinglePool": carbon_timeline_kg_per_h(baseline.energy.timeline, intensity),
+            "DynamoLLM": carbon_timeline_kg_per_h(dynamo.energy.timeline, intensity),
         },
         "weekly_tonnes": {
-            "SinglePool": baseline.carbon_kg(intensity) / 1000.0,
-            "DynamoLLM": dynamo.carbon_kg(intensity) / 1000.0,
+            "SinglePool": baseline_kg / 1000.0,
+            "DynamoLLM": dynamo_kg / 1000.0,
         },
         "saving_fraction": 1.0
-        - (dynamo.carbon_kg(intensity) / baseline.carbon_kg(intensity) if baseline.carbon_kg(intensity) > 0 else 1.0),
+        - (dynamo_kg / baseline_kg if baseline_kg > 0 else 1.0),
     }
 
 

@@ -247,6 +247,138 @@ class TestFluidRunner:
         assert result.carbon_kg() > 0.0
 
 
+class TestLargeScaleApiPort:
+    """Figure-15/16 drivers on the sink-backed fluid Scenario API."""
+
+    RATE_SCALE = 10.0
+
+    def test_figure15_matches_direct_fluid_runner(self):
+        from repro.experiments.large_scale import figure15_daily_energy, week_bins
+        from repro.policies import DYNAMO_LLM, SINGLE_POOL
+
+        ported = figure15_daily_energy(rate_scale=self.RATE_SCALE)
+        runner = FluidRunner()
+        bins = week_bins("conversation", rate_scale=self.RATE_SCALE)
+        day_bins = [b for b in bins if 86400.0 <= b.start_time < 2 * 86400.0]
+        for name, spec in (("SinglePool", SINGLE_POOL), ("DynamoLLM", DYNAMO_LLM)):
+            direct = runner.run(spec, day_bins)
+            assert ported[name] == [
+                (t, wh / 1000.0) for t, wh in direct.energy_timeline_wh
+            ]
+
+    def test_figure16_matches_direct_fluid_runner(self):
+        from repro.experiments.large_scale import figure16_carbon, week_bins
+        from repro.policies import DYNAMO_LLM, SINGLE_POOL
+
+        ported = figure16_carbon(rate_scale=self.RATE_SCALE)
+        runner = FluidRunner()
+        bins = week_bins("conversation", rate_scale=self.RATE_SCALE)
+        baseline = runner.run(SINGLE_POOL, bins)
+        dynamo = runner.run(DYNAMO_LLM, bins)
+        assert ported["weekly_tonnes"]["SinglePool"] == baseline.carbon_kg() / 1000.0
+        assert ported["weekly_tonnes"]["DynamoLLM"] == dynamo.carbon_kg() / 1000.0
+        assert 0.0 < ported["saving_fraction"] < 1.0
+        from repro.metrics.carbon import CarbonIntensityTrace, carbon_timeline_kg_per_h
+
+        intensity = CarbonIntensityTrace()
+        assert ported["timeline_kg_per_h"]["SinglePool"] == carbon_timeline_kg_per_h(
+            baseline.energy_timeline_wh, intensity
+        )
+        assert ported["timeline_kg_per_h"]["DynamoLLM"] == carbon_timeline_kg_per_h(
+            dynamo.energy_timeline_wh, intensity
+        )
+
+    def test_figure15_sink_path_is_resumable(self, tmp_path):
+        from repro.api import JsonlSink, read_jsonl
+        from repro.experiments.large_scale import figure15_daily_energy
+
+        path = tmp_path / "figure15.jsonl"
+        sink = figure15_daily_energy(
+            rate_scale=self.RATE_SCALE, sink=JsonlSink(str(path))
+        )
+        assert sink.report.ran == 2
+        assert sorted(r["scenario"] for r in read_jsonl(str(path))) == [
+            "DynamoLLM", "SinglePool",
+        ]
+        rerun = figure15_daily_energy(
+            rate_scale=self.RATE_SCALE, sink=JsonlSink(str(path)), resume=True
+        )
+        assert rerun.report.skipped == 2 and rerun.report.ran == 0
+        assert len(read_jsonl(str(path))) == 2
+
+    def test_figure16_sink_path_is_resumable(self, tmp_path):
+        from repro.api import JsonlSink, read_jsonl
+        from repro.experiments.large_scale import figure16_carbon
+
+        path = tmp_path / "figure16.jsonl"
+        sink = figure16_carbon(rate_scale=self.RATE_SCALE, sink=JsonlSink(str(path)))
+        assert sink.report.ran == 2
+        rerun = figure16_carbon(
+            rate_scale=self.RATE_SCALE, sink=JsonlSink(str(path)), resume=True
+        )
+        assert rerun.report.skipped == 2
+        records = read_jsonl(str(path))
+        assert len(records) == 2 and all(r["carbon_kg"] > 0 for r in records)
+
+    def test_figure16_rejects_custom_intensity_with_sink(self, tmp_path):
+        from repro.api import JsonlSink
+        from repro.experiments.large_scale import figure16_carbon
+        from repro.metrics.carbon import CarbonIntensityTrace
+
+        with pytest.raises(ValueError, match="custom carbon intensity"):
+            figure16_carbon(
+                rate_scale=self.RATE_SCALE,
+                intensity=CarbonIntensityTrace(),
+                sink=JsonlSink(str(tmp_path / "fig16.jsonl")),
+            )
+
+    def test_weekly_policy_summaries_resume(self, tmp_path):
+        from repro.api import JsonlSink, read_jsonl
+        from repro.experiments.large_scale import weekly_policy_summaries
+        from repro.policies import DYNAMO_LLM, SINGLE_POOL
+
+        path = tmp_path / "week.jsonl"
+        weekly_policy_summaries(
+            rate_scale=self.RATE_SCALE, policies=(SINGLE_POOL,),
+            sink=JsonlSink(str(path)),
+        )
+        sink = weekly_policy_summaries(
+            rate_scale=self.RATE_SCALE, policies=(SINGLE_POOL, DYNAMO_LLM),
+            sink=JsonlSink(str(path)), resume=True,
+        )
+        assert sink.report.skipped == 1 and sink.report.ran == 1
+        assert sorted(r["scenario"] for r in read_jsonl(str(path))) == [
+            "DynamoLLM", "SinglePool",
+        ]
+
+    def test_driver_resume_identity_encodes_parameters(self, tmp_path):
+        """Rerunning a driver with different parameters against the same
+        sink must rerun, not skip: the trace name (the resume identity
+        for policy-name-keyed records) encodes rate scale and model."""
+        from repro.api import JsonlSink
+        from repro.experiments.large_scale import (
+            figure16_carbon,
+            weekly_policy_summaries,
+        )
+        from repro.policies import SINGLE_POOL
+
+        path = tmp_path / "shared.jsonl"
+        weekly_policy_summaries(
+            rate_scale=10.0, policies=(SINGLE_POOL,), sink=JsonlSink(str(path))
+        )
+        # Different rate scale: nothing to skip.
+        rerun = weekly_policy_summaries(
+            rate_scale=20.0, policies=(SINGLE_POOL,),
+            sink=JsonlSink(str(path)), resume=True,
+        )
+        assert rerun.report.skipped == 0 and rerun.report.ran == 1
+        # Different driver (other config) sharing the file: also reruns.
+        fig16 = figure16_carbon(
+            rate_scale=10.0, sink=JsonlSink(str(path)), resume=True
+        )
+        assert fig16.report.skipped == 0 and fig16.report.ran == 2
+
+
 class TestModelCatalog:
     def test_cluster_eval_accepts_model(self, tiny_trace, experiment_config):
         from repro.experiments.cluster_eval import run_cluster_evaluation
