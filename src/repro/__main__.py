@@ -14,6 +14,15 @@ Subcommands:
   error record instead of aborting the sweep.  ``--resume`` reruns an
   interrupted sweep: scenarios already recorded in ``--out`` are
   skipped, the rest append, and a skipped/ran/failed report is printed.
+* ``campaign`` — manifest-driven sensitivity campaigns:
+  ``campaign run <manifest>`` expands a JSON/TOML manifest into a
+  (possibly 1000+-scenario) grid and streams it through resumable file
+  sinks, ``--shard i/n`` runs one deterministic shard for multi-host
+  campaigns, ``campaign status`` rolls up per-shard completion,
+  ``campaign report`` pivots the results into the manifest's
+  sensitivity table and ``campaign validate`` / ``campaign list`` check
+  manifests and list the bundled ones (``smoke``, ``fig11_accuracy``,
+  ``sensitivity_grid``, ...).
 * ``list-experiments`` — list the registered paper artefacts.
 * ``bench`` — run registered experiments by id and report wall-clock
   times (defaults to the light, analytic artefacts).
@@ -208,6 +217,146 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_shard(text: Optional[str]):
+    if text is None:
+        return None
+    match = text.split("/")
+    if len(match) != 2:
+        raise ValueError(
+            f"--shard must look like I/N (e.g. 0/4), got {text!r}"
+        )
+    try:
+        index, count = int(match[0]), int(match[1])
+    except ValueError:
+        raise ValueError(
+            f"--shard must look like I/N (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"--shard {text}: the index must lie in 0..N-1 (shards are "
+            "0-based)"
+        )
+    return index, count
+
+
+def _campaign_runner(args):
+    from repro.api.campaign import CampaignRunner, load_manifest
+    from repro.experiments.manifests import resolve_manifest
+
+    manifest = load_manifest(resolve_manifest(args.manifest))
+    return CampaignRunner(manifest, out=getattr(args, "out", None))
+
+
+def cmd_campaign(args) -> int:
+    if args.action == "list":
+        from repro.api.campaign import load_manifest
+        from repro.experiments.manifests import list_manifests, manifest_path
+
+        entries = {
+            name: load_manifest(manifest_path(name)) for name in list_manifests()
+        }
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        name: {
+                            "description": manifest.description,
+                            "output": manifest.output,
+                            "shards": manifest.shards,
+                        }
+                        for name, manifest in entries.items()
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        for name, manifest in entries.items():
+            print(f"{name:20s} {manifest.description.split('. ')[0]}")
+        return 0
+
+    runner = _campaign_runner(args)
+    if args.action == "validate":
+        grid = runner.validate()
+        shards = args.shards or runner.manifest.shards
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "name": runner.manifest.name,
+                        "scenarios": len(grid),
+                        "shards": shards,
+                        "output": runner.out,
+                        "keys": list(grid.keys()[:10]),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"{runner.manifest.name}: {len(grid)} scenarios, "
+                f"{shards} shard(s), output {runner.out}"
+            )
+        return 0
+
+    if args.action == "run":
+        shard = _parse_shard(args.shard)
+        started = time.perf_counter()
+        shard_runs = runner.run(
+            shard=shard,
+            workers=args.workers,
+            mode=args.mode,
+            resume=not args.no_resume,
+        )
+        elapsed = time.perf_counter() - started
+        failed = 0
+        for shard_run in shard_runs:
+            report = shard_run.report
+            failed += report.failed
+            print(
+                f"{shard_run.path}: {report.ran} ran, {report.skipped} "
+                f"skipped, {report.failed} failed",
+                file=sys.stderr,
+            )
+        print(
+            f"campaign {runner.manifest.name}: {len(shard_runs)} shard run(s) "
+            f"in {elapsed:.1f}s wall-clock",
+            file=sys.stderr,
+        )
+        return 1 if failed else 0
+
+    if args.action == "status":
+        status = runner.status()
+        if args.json:
+            print(json.dumps(status.to_dict(), indent=2))
+        else:
+            print(
+                f"{status.name}: {status.completed}/{status.total} completed, "
+                f"{status.failed} failed, {status.pending} pending"
+                + (" — done" if status.done else "")
+            )
+            for shard in status.shards:
+                label = (
+                    f"shard {shard.index}/{shard.count}"
+                    if shard.index is not None
+                    else "(unsharded)"
+                )
+                print(
+                    f"  {label:12s} {shard.completed}/{shard.expected} "
+                    f"completed, {shard.failed} failed  {shard.path}"
+                )
+            if not status.shards:
+                print("  no results files found yet — run the campaign first")
+        return 1 if status.failed else 0
+
+    # action == "report"
+    table = runner.report()
+    if args.json:
+        print(json.dumps(table.to_dict(), indent=2))
+    else:
+        print(table.format())
+    return 0
+
+
 def cmd_list_experiments(args) -> int:
     from repro.experiments.registry import EXPERIMENTS, list_experiments
 
@@ -342,6 +491,73 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(func=cmd_sweep)
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="manifest-driven sensitivity campaigns (run/status/report)",
+    )
+    campaign_actions = campaign_parser.add_subparsers(dest="action", required=True)
+
+    def _campaign_common(sub, with_out=True):
+        sub.add_argument(
+            "manifest",
+            help="manifest path (.json/.toml) or bundled name (see "
+                 "'campaign list')",
+        )
+        if with_out:
+            sub.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="override the manifest's output path (shard files "
+                     "derive from it)",
+            )
+        sub.set_defaults(func=cmd_campaign)
+
+    campaign_run = campaign_actions.add_parser(
+        "run", help="run the campaign (or one shard) with resume"
+    )
+    _campaign_common(campaign_run)
+    campaign_run.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only shard I of N (deterministic round-robin split; "
+             "each shard streams into its own results file)",
+    )
+    campaign_run.add_argument("--workers", type=int, default=None,
+                              help="parallel scenario runs (overrides manifest)")
+    campaign_run.add_argument(
+        "--mode", default=None, choices=("thread", "process"),
+        help="worker pool kind (overrides manifest)",
+    )
+    campaign_run.add_argument(
+        "--no-resume", action="store_true",
+        help="refuse existing results instead of resuming into them "
+             "(campaigns resume by default)",
+    )
+
+    campaign_status = campaign_actions.add_parser(
+        "status", help="roll up per-shard completion of a campaign"
+    )
+    _campaign_common(campaign_status)
+    campaign_status.add_argument("--json", action="store_true")
+
+    campaign_report = campaign_actions.add_parser(
+        "report", help="pivot campaign results into its sensitivity table"
+    )
+    _campaign_common(campaign_report)
+    campaign_report.add_argument("--json", action="store_true")
+
+    campaign_validate = campaign_actions.add_parser(
+        "validate", help="expand and validate a manifest without running it"
+    )
+    _campaign_common(campaign_validate, with_out=False)
+    campaign_validate.add_argument("--shards", type=int, default=None,
+                                   help="report this shard count instead of the manifest's")
+    campaign_validate.add_argument("--json", action="store_true")
+
+    campaign_list = campaign_actions.add_parser(
+        "list", help="list the bundled campaign manifests"
+    )
+    campaign_list.add_argument("--json", action="store_true")
+    campaign_list.set_defaults(func=cmd_campaign, manifest=None)
+
     list_parser = subparsers.add_parser("list-experiments", help="list paper artefacts")
     list_parser.add_argument("--light", action="store_true", help="hide heavy experiments")
     list_parser.add_argument("--json", action="store_true")
@@ -361,6 +577,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # `repro ... | head` closes stdout early: die quietly like a
+        # well-behaved filter.  Redirect stdout to devnull so the
+        # interpreter's shutdown flush cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except (KeyError, ValueError) as error:
         # Unknown policy / experiment / trace kind: the registries raise
         # KeyError with the known names listed — show it without a traceback.

@@ -20,7 +20,12 @@ three composable pieces:
   append-only and restart-safe: ``resume=True`` (on the sink or the
   executor) skips scenarios already recorded, scenarios that raise
   become structured error records instead of aborting the sweep, and
-  ``completed_keys(path)`` lists what a results file already holds.
+  ``completed_keys(path)`` lists what a results file already holds;
+* :mod:`repro.api.campaign` — manifest-driven campaigns on top of all
+  of it: a JSON/TOML manifest describes the grid, sharding and a report
+  recipe, and :class:`CampaignRunner` expands, validates, shards, runs
+  (resumably) and pivots the results into the paper's sensitivity
+  tables (``python -m repro campaign run|status|report``).
 
 Quickstart::
 
@@ -47,6 +52,20 @@ Streaming a week-long fluid sweep to disk::
     run_grid(grid, sink=JsonlSink("results.jsonl"))
 """
 
+from repro.api.campaign import (
+    CampaignManifest,
+    CampaignRunner,
+    CampaignStatus,
+    ManifestError,
+    ReportSpec,
+    ReportTable,
+    build_report,
+    expand_manifest,
+    load_manifest,
+    manifest_from_dict,
+    shard_path,
+    shard_scenarios,
+)
 from repro.api.engine import SimulationEngine
 from repro.api.executor import SweepReport, run_grid, run_policies, run_scenario, runs
 from repro.api.fluid_engine import FluidEngine
@@ -54,12 +73,15 @@ from repro.api.sinks import (
     CsvSink,
     InMemorySink,
     JsonlSink,
+    ResultsMismatchError,
     ResultSink,
     completed_keys,
     error_record,
     read_csv,
     read_jsonl,
+    read_records,
     record_fieldnames,
+    recorded_keys,
     sink_for_path,
     summary_record,
 )
@@ -107,8 +129,23 @@ __all__ = [
     "error_record",
     "record_fieldnames",
     "completed_keys",
+    "recorded_keys",
     "read_jsonl",
     "read_csv",
+    "read_records",
+    "ResultsMismatchError",
+    "CampaignManifest",
+    "CampaignRunner",
+    "CampaignStatus",
+    "ManifestError",
+    "ReportSpec",
+    "ReportTable",
+    "build_report",
+    "expand_manifest",
+    "load_manifest",
+    "manifest_from_dict",
+    "shard_scenarios",
+    "shard_path",
     "Observer",
     "default_observers",
     "CarbonObserver",

@@ -40,7 +40,10 @@ Streamed sweeps are *fault-tolerant* and *resumable*:
   are materialised — rerunning an interrupted sweep executes exactly
   the missing scenarios and appends their records.  Scenario keys are
   therefore a durability contract: streamed sweeps reject duplicate
-  keys up front instead of silently collapsing them.
+  keys up front instead of silently collapsing them, and a resume
+  against a file whose records name keys *outside* the current grid
+  raises :class:`~repro.api.sinks.ResultsMismatchError` — the file was
+  written by a different grid and must not be mixed with this one.
 
 ``run_policies`` is the engine-backed successor of the legacy
 ``run_all_policies``: it runs several policies over one trace with a
@@ -63,7 +66,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.api.engine import SimulationEngine
 from repro.api.fluid_engine import FluidEngine
 from repro.api.scenario import Scenario, ScenarioGrid
-from repro.api.sinks import ResultSink
+from repro.api.sinks import ResultsMismatchError, ResultSink
 from repro.metrics.summary import RunSummary
 from repro.policies.base import PolicySpec
 from repro.workload.traces import BinnedTrace, Trace
@@ -84,6 +87,29 @@ class SweepReport:
     skipped: int
     ran: int
     failed: int
+
+
+def _check_no_stale_records(recorded: set, keys: Sequence[str], context: str = "sweep") -> None:
+    """Refuse to resume a results file written by a different grid.
+
+    ``recorded`` keys missing from the current sweep's ``keys`` mean the
+    sink already holds another grid's records (stale file, edited sweep
+    arguments, wrong output path).  Skipping "nothing" and appending
+    this sweep's records would silently mix the two grids in one file —
+    and present the stale rows as this sweep's output — so resume
+    raises instead.
+    """
+    stale = set(recorded) - set(keys)
+    if stale:
+        shown = ", ".join(repr(key) for key in sorted(stale)[:5])
+        if len(stale) > 5:
+            shown += f", ... ({len(stale)} total)"
+        raise ResultsMismatchError(
+            f"cannot resume: the sink already records key(s) {shown} that "
+            f"this {context} does not contain, so its records belong to a "
+            "different grid — resume with the grid that wrote the file, or "
+            "stream this sweep into a fresh output file"
+        )
 
 
 def _duplicate_keys(keys: Sequence[str]) -> List[str]:
@@ -432,7 +458,8 @@ def runs(
         )
     skipped = 0
     if resume or sink.resume:
-        done = sink.completed_keys()
+        recorded, done = sink.scan_keys()
+        _check_no_stale_records(recorded, keys)
         if done:
             kept = [
                 (key, scenario)
@@ -531,7 +558,12 @@ def run_policies(
         # sink file shared across sweeps cannot skip another sweep's
         # work.  Filtering happens before the budget computation below:
         # a fully-completed resume must not pay trace profiling.
-        done = sink.completed_keys(trace=trace.name)
+        recorded, done = sink.scan_keys(trace=trace.name)
+        _check_no_stale_records(
+            recorded,
+            [spec.name for spec in specs],
+            context="policy sweep (records filtered to this trace)",
+        )
         if done:
             kept = [spec for spec in specs if spec.name not in done]
             skipped = len(specs) - len(kept)

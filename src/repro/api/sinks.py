@@ -53,6 +53,18 @@ from typing import Dict, IO, List, Optional, Set
 from repro.metrics.summary import RunSummary
 
 
+class ResultsMismatchError(ValueError):
+    """A results file does not belong to the sweep trying to resume it.
+
+    Raised when a resume finds scenario keys on disk that the current
+    grid does not contain: the file was written by a *different* grid
+    (stale manifest, edited sweep arguments, wrong ``--out`` path).
+    Silently ignoring the unknown keys used to mix two sweeps' records
+    in one file and present the stale rows as this sweep's output —
+    resume now refuses instead, pointing at a fresh output file.
+    """
+
+
 def summary_record(key: str, summary: RunSummary) -> Dict[str, object]:
     """Flatten one run summary into a JSON/CSV-serialisable record.
 
@@ -180,6 +192,31 @@ class ResultSink:
         """
         return set()
 
+    def recorded_keys(self, trace: Optional[str] = None) -> Set[str]:
+        """Every scenario key with *any* record in the sink — errors too.
+
+        The superset :meth:`completed_keys` draws from: error records
+        count here (their scenario was attempted and is part of the
+        sink's grid) even though they do not count as completed.  The
+        executors compare this against the sweep's own keys when
+        resuming, so a results file written by a different grid raises
+        :class:`ResultsMismatchError` instead of silently mixing two
+        sweeps' records in one file.  ``trace`` narrows to records of
+        that trace, like :meth:`completed_keys` (error records carry no
+        trace column, so the filter excludes them — they cannot be
+        attributed to a trace).
+        """
+        return self.completed_keys(trace=trace)
+
+    def scan_keys(self, trace: Optional[str] = None):
+        """``(recorded, completed)`` key sets in one scan.
+
+        What the executors' resume path calls: file sinks derive both
+        sets from a single read of the results file instead of parsing
+        it once per set.
+        """
+        return self.recorded_keys(trace), self.completed_keys(trace)
+
     def close(self) -> None:  # pragma: no cover - hook
         """Called once after the last result (also on error)."""
 
@@ -210,6 +247,11 @@ class InMemorySink(ResultSink):
         return {
             key for key, summary in self.results.items() if summary.trace == trace
         }
+
+    def recorded_keys(self, trace: Optional[str] = None) -> Set[str]:
+        if trace is None:
+            return set(self.results) | set(self.errors)
+        return self.completed_keys(trace=trace)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -246,6 +288,22 @@ class _FileSink(ResultSink):
         if not self._seeded:
             self._seed_from_disk()
         return completed_keys(self.path, trace=trace)
+
+    def recorded_keys(self, trace: Optional[str] = None) -> Set[str]:
+        # Same repair-before-read ordering as completed_keys.
+        if not self._seeded:
+            self._seed_from_disk()
+        return recorded_keys(self.path, trace=trace)
+
+    def scan_keys(self, trace: Optional[str] = None):
+        # One repaired read serves both key sets.
+        if not self._seeded:
+            self._seed_from_disk()
+        records = read_records(self.path)
+        return (
+            _keys_of(records, trace, completed_only=False),
+            _keys_of(records, trace, completed_only=True),
+        )
 
     def open(self) -> None:
         if self._handle is not None:
@@ -528,26 +586,55 @@ def read_csv(path: str) -> List[Dict[str, object]]:
     return records
 
 
+def read_records(path: str) -> List[Dict[str, object]]:
+    """Records from either file-sink format, dispatched on extension.
+
+    The one reader every consumer (resume scans, campaign status /
+    report roll-ups) goes through, so format dispatch and torn-line
+    tolerance have a single home.  Missing files read as empty — a
+    resumed sweep that never started is just a fresh sweep.
+    """
+    if not os.path.exists(path):
+        return []
+    if path.lower().endswith(".csv"):
+        return read_csv(path)
+    return read_jsonl(path)
+
+
+def _keys_of(
+    records: List[Dict[str, object]],
+    trace: Optional[str],
+    completed_only: bool,
+) -> Set[str]:
+    return {
+        str(record["scenario"])
+        for record in records
+        if record.get("scenario") not in (None, "")
+        and (not completed_only or not record.get("error"))
+        and (trace is None or record.get("trace") == trace)
+    }
+
+
 def completed_keys(path: str, trace: Optional[str] = None) -> Set[str]:
     """Scenario keys with a successful record already in ``path``.
 
-    The reader matching the extension is used (missing files read as
-    empty — a resumed sweep that never started is just a fresh sweep).
     Records whose ``error`` column is non-empty do **not** count: a
     resumed sweep retries scenarios that previously raised.  ``trace``
     keeps only records of that trace — the resume filter for record
     keys (policy names) that do not themselves encode the trace.
     """
-    if not os.path.exists(path):
-        return set()
-    if path.lower().endswith(".csv"):
-        records = read_csv(path)
-    else:
-        records = read_jsonl(path)
-    return {
-        str(record["scenario"])
-        for record in records
-        if record.get("scenario") not in (None, "")
-        and not record.get("error")
-        and (trace is None or record.get("trace") == trace)
-    }
+    return _keys_of(read_records(path), trace, completed_only=True)
+
+
+def recorded_keys(path: str, trace: Optional[str] = None) -> Set[str]:
+    """Every scenario key with *any* record in ``path`` — errors included.
+
+    The superset of :func:`completed_keys` the resume mismatch check
+    compares against a sweep's own keys: an error record still names a
+    scenario of the grid that wrote the file, so a key unknown to the
+    current grid — errored or not — means the file belongs to a
+    different sweep.  With ``trace`` set, only records of that trace
+    count (error records carry no trace column and are excluded, as
+    they cannot be attributed to a trace).
+    """
+    return _keys_of(read_records(path), trace, completed_only=False)

@@ -20,6 +20,12 @@ interrupted week-scale replay reruns only the missing systems.
 ``workers`` evaluates the services concurrently, one independent runner
 per service, results identical to a serial run); ``cost_summary``
 likewise — their registry twins are the API-backed drivers above.
+
+:func:`figure15_campaign` / :func:`figure16_campaign` are the
+manifest-driven counterparts: the bundled ``fig15_daily`` /
+``fig16_carbon`` campaigns run the same comparisons through
+``python -m repro campaign`` (declarative grid, sharding, resume,
+pivoted savings report).
 """
 
 from __future__ import annotations
@@ -244,6 +250,35 @@ def figure16_carbon(
         "saving_fraction": 1.0
         - (dynamo_kg / baseline_kg if baseline_kg > 0 else 1.0),
     }
+
+
+def figure15_campaign(
+    out: Optional[str] = None, workers: Optional[int] = None, resume: bool = True
+):
+    """Figure 15 as a bundled campaign: run ``fig15_daily``, return its report.
+
+    The declarative twin of :func:`figure15_daily_energy` — one day of
+    the Conversation trace, SinglePool vs DynamoLLM on the fluid
+    backend, pivoted into an energy-savings
+    :class:`~repro.api.campaign.ReportTable`.  ``out`` keeps resumable
+    results files (default: a discarded temporary directory).
+    """
+    from repro.experiments.manifests import run_bundled_campaign
+
+    return run_bundled_campaign("fig15_daily", out=out, workers=workers, resume=resume)
+
+
+def figure16_campaign(
+    out: Optional[str] = None, workers: Optional[int] = None, resume: bool = True
+):
+    """Figure 16 as a bundled campaign: run ``fig16_carbon``, return its report.
+
+    The declarative twin of :func:`figure16_carbon`, pivoting weekly
+    ``carbon_kg`` savings vs SinglePool from the streamed records.
+    """
+    from repro.experiments.manifests import run_bundled_campaign
+
+    return run_bundled_campaign("fig16_carbon", out=out, workers=workers, resume=resume)
 
 
 def cost_summary(

@@ -1,0 +1,120 @@
+"""Bundled campaign manifests: the paper's grids as declarative data.
+
+Every ``.json``/``.toml`` file in this package is a campaign manifest
+:func:`repro.api.campaign.load_manifest` understands; the ``python -m
+repro campaign`` subcommands accept the bare stem (``smoke``,
+``fig11_accuracy``) anywhere a manifest path is expected.
+
+Bundled campaigns:
+
+* ``fig11_accuracy`` — Figure 11's predictor-accuracy sensitivity grid
+  (SinglePool baseline + DynamoLLM across accuracies) on the event
+  backend, scaled to a test-tractable trace; the report pivots energy
+  savings per accuracy.
+* ``fig15_daily`` — Figure 15's one-day SinglePool-vs-DynamoLLM energy
+  comparison on the fluid backend.
+* ``fig16_carbon`` — Figure 16's week-long carbon comparison (fluid
+  backend; the report pivots ``carbon_kg`` savings).
+* ``accuracy_slo_wide`` — a wider-than-paper accuracy x SLO-scale grid
+  (11 accuracies x 6 SLO scales + baselines, event backend) for the
+  sensitivity tables the paper only samples.
+* ``sensitivity_grid`` — the 1008-scenario fluid sensitivity campaign
+  (6 systems x 4 pool schemes x 3 load scales x 14 seeds), sharded
+  4-ways by default; the scale-proof for manifest-driven grids.
+* ``smoke`` — a 12-scenario fluid campaign that finishes in seconds;
+  used by CI's kill-and-resume smoke leg and as a quick local demo.
+
+Outputs are written relative to the *working* directory (this package
+directory is read-only once installed); override with ``--out``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+MANIFEST_DIR = os.path.dirname(os.path.abspath(__file__))
+
+_EXTENSIONS = (".json", ".toml")
+
+
+def list_manifests() -> List[str]:
+    """Stems of the bundled manifests, sorted."""
+    return sorted(
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(MANIFEST_DIR)
+        if entry.endswith(_EXTENSIONS)
+    )
+
+
+def manifest_path(name: str) -> str:
+    """Absolute path of a bundled manifest by stem or filename."""
+    for candidate in (name,) + tuple(name + ext for ext in _EXTENSIONS):
+        path = os.path.join(MANIFEST_DIR, candidate)
+        if os.path.basename(candidate) == candidate and os.path.exists(path):
+            return path
+    known = ", ".join(list_manifests())
+    raise KeyError(f"unknown bundled manifest {name!r}; bundled: {known}")
+
+
+def resolve_manifest(spec: str) -> str:
+    """A manifest path from a filesystem path or a bundled stem.
+
+    Filesystem paths win (an existing local ``smoke.json`` beats the
+    bundled ``smoke``); anything that is not an existing file is looked
+    up as a bundled manifest name.
+    """
+    if os.path.exists(spec):
+        return spec
+    try:
+        return manifest_path(spec)
+    except KeyError:
+        known = ", ".join(list_manifests())
+        raise KeyError(
+            f"manifest {spec!r} is neither an existing file nor a bundled "
+            f"manifest name; bundled: {known}"
+        ) from None
+
+
+def run_bundled_campaign(
+    name: str,
+    out: Optional[str] = None,
+    shard: Optional[tuple] = None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+):
+    """Run a bundled campaign and return its report (or shard status).
+
+    The registry-facing driver: with ``out=None`` the campaign streams
+    into a temporary directory (the records only feed the returned
+    :class:`~repro.api.campaign.ReportTable`, nothing is left in the
+    working directory); pass ``out`` to keep resumable results files.
+    With ``shard=(i, n)`` only that shard runs and the per-shard
+    :class:`~repro.api.campaign.CampaignStatus` is returned instead —
+    a report needs every shard's records, so ``shard`` requires ``out``
+    (a temporary directory would discard the shard's work on return).
+    """
+    import tempfile
+
+    from repro.api.campaign import CampaignRunner, load_manifest
+
+    manifest = load_manifest(manifest_path(name))
+    if shard is not None and out is None:
+        # A lone shard's records are the whole point of running it; a
+        # temporary directory would delete them on return and no series
+        # of shard runs could ever complete the campaign.
+        raise ValueError(
+            "shard= requires out=: each shard streams into a results file "
+            "derived from it, and the other shards (and status/report) "
+            "need those files to survive this call"
+        )
+    if out is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            runner = CampaignRunner(
+                manifest, out=os.path.join(scratch, os.path.basename(manifest.output))
+            )
+            runner.run(workers=workers, resume=resume)
+            return runner.report()
+    runner = CampaignRunner(manifest, out=out)
+    runner.run(shard=shard, workers=workers, resume=resume)
+    return runner.status() if shard is not None else runner.report()

@@ -5,12 +5,21 @@ layer: one dimension varies (predictor accuracy, Poisson load level,
 pool count), everything else is inherited from a shared base config.
 Each driver accepts ``workers`` to run its sweep in parallel; results
 are identical to a serial run.
+
+The single-dimension figures (11 and 13) run through the campaign layer
+(:meth:`repro.api.campaign.CampaignRunner.from_grid`), so they share
+its validation and execution path with the manifest-driven grids; the
+declarative counterparts — including the wider-than-paper accuracy x
+SLO-scale campaign :func:`wide_accuracy_slo_campaign` and the
+1008-scenario :mod:`~repro.experiments.manifests` ``sensitivity_grid``
+— shard, resume and pivot through ``python -m repro campaign``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence, Union
 
+from repro.api.campaign import CampaignRunner, ReportSpec
 from repro.api.executor import run_policies, run_scenario, runs
 from repro.api.scenario import Scenario, TraceSpec
 from repro.experiments.runner import ExperimentConfig
@@ -26,6 +35,22 @@ def _default_trace(rate_scale: float = 15.0, duration_s: Optional[float] = 1800.
     if duration_s is not None and duration_s < trace.duration:
         trace = trace.slice(0.0, duration_s)
     return trace
+
+
+def _summary_of(sink, scenario: Scenario) -> RunSummary:
+    """A scenario's summary from an in-memory campaign sink.
+
+    The streamed executors convert a raising scenario into an error
+    entry and keep going; a figure driver wants the *original* failure,
+    not a bare ``KeyError`` on the missing summary — re-raise it.
+    """
+    try:
+        return sink.results[scenario.key]
+    except KeyError:
+        error = sink.errors.get(scenario.key)
+        if error is not None:
+            raise error
+        raise
 
 
 def _headline_metrics(summary: RunSummary) -> Dict[str, float]:
@@ -46,7 +71,9 @@ def figure11_predictor_accuracy(
     """Figure 11: energy and TTFT vs output-length predictor accuracy.
 
     Includes the SinglePool baseline as the reference bar, as in the
-    paper's figure.
+    paper's figure.  Runs through the campaign layer (in-memory sink),
+    so the grid is validated like a manifest campaign and the summaries
+    are identical to a plain :func:`~repro.api.executor.runs` sweep.
     """
     trace = trace if trace is not None else _default_trace()
     base_config = config or ExperimentConfig()
@@ -60,7 +87,19 @@ def figure11_predictor_accuracy(
         )
         for accuracy in accuracies
     ]
-    summaries = runs(scenarios, workers=workers, lean=True)
+    runner = CampaignRunner.from_grid(
+        "figure11-accuracy",
+        scenarios,
+        report=ReportSpec(
+            value="energy_kwh",
+            rows=("policy",),
+            cols=("predictor_accuracy",),
+            baseline="SinglePool",
+            compare="saving",
+        ),
+    )
+    sink = runner.run_in_memory(workers=workers)
+    summaries = [_summary_of(sink, scenario) for scenario in scenarios]
     results: Dict[str, Dict[str, float]] = {"SinglePool": _headline_metrics(summaries[0])}
     for accuracy, summary in zip(accuracies, summaries[1:]):
         results[f"Dyn-{int(accuracy * 100)}%"] = _headline_metrics(summary)
@@ -102,7 +141,10 @@ def figure13_pool_count(
     config: Optional[ExperimentConfig] = None,
     workers: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
-    """Figure 13: energy and TTFT of DynamoLLM vs the number of pools."""
+    """Figure 13: energy and TTFT of DynamoLLM vs the number of pools.
+
+    Runs through the campaign layer like :func:`figure11_predictor_accuracy`.
+    """
     trace = trace if trace is not None else _default_trace()
     base_config = config or ExperimentConfig()
     scenarios = [
@@ -111,10 +153,15 @@ def figure13_pool_count(
         )
         for count in pool_counts
     ]
-    summaries = runs(scenarios, workers=workers, lean=True)
+    runner = CampaignRunner.from_grid(
+        "figure13-pools",
+        scenarios,
+        report=ReportSpec(value="energy_kwh", rows=("pool_count",)),
+    )
+    sink = runner.run_in_memory(workers=workers)
     return {
-        count: _headline_metrics(summary)
-        for count, summary in zip(pool_counts, summaries)
+        count: _headline_metrics(_summary_of(sink, scenario))
+        for count, scenario in zip(pool_counts, scenarios)
     }
 
 
@@ -166,6 +213,46 @@ def model_catalog_energy(
     for scenario, summary in zip(scenarios, summaries):
         results.setdefault(scenario.model, {})[scenario.policy_name] = _headline_metrics(summary)
     return results
+
+
+def wide_accuracy_slo_campaign(
+    out: Optional[str] = None,
+    shard=None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+):
+    """The wider-than-paper accuracy x SLO-scale sensitivity campaign.
+
+    Runs the bundled ``accuracy_slo_wide`` manifest (11 accuracies x 6
+    SLO scales + per-SLO SinglePool baselines, event backend) and
+    returns its energy-savings :class:`~repro.api.campaign.ReportTable`.
+    ``out`` keeps resumable results files; ``shard=(i, n)`` runs one
+    shard for multi-host execution and returns the campaign status.
+    """
+    from repro.experiments.manifests import run_bundled_campaign
+
+    return run_bundled_campaign(
+        "accuracy_slo_wide", out=out, shard=shard, workers=workers, resume=resume
+    )
+
+
+def sensitivity_grid_campaign(
+    out: Optional[str] = None,
+    shard=None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+):
+    """The 1008-scenario fluid sensitivity campaign (bundled manifest).
+
+    Six systems x four pool schemes x three load scales x fourteen
+    seeds; the report pivots mean energy savings vs SinglePool per
+    (policy, pool-count) cell.  See :mod:`repro.experiments.manifests`.
+    """
+    from repro.experiments.manifests import run_bundled_campaign
+
+    return run_bundled_campaign(
+        "sensitivity_grid", out=out, shard=shard, workers=workers, resume=resume
+    )
 
 
 def compare_levels(results: Dict[str, Dict[str, float]], baseline: str = "SinglePool") -> Dict[str, Dict[str, float]]:

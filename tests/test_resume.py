@@ -495,10 +495,15 @@ class TestFaultTolerance:
         path = tmp_path / "errors-then-success.csv"
         bad = ScenarioGrid([Scenario(policy=EXPLODING, trace=mini_trace, backend="fluid")])
         run_grid(bad, sink=CsvSink(str(path)))
-        good = ScenarioGrid(
-            [Scenario(policy="SinglePool", trace=mini_trace, backend="fluid")]
+        # Resume with a *superset* grid (the error record's key must stay
+        # part of the resumed grid — foreign keys are a mismatch error).
+        wider = ScenarioGrid(
+            [
+                Scenario(policy=EXPLODING, trace=mini_trace, backend="fluid"),
+                Scenario(policy="SinglePool", trace=mini_trace, backend="fluid"),
+            ]
         )
-        run_grid(good, sink=CsvSink(str(path), resume=True))
+        run_grid(wider, sink=CsvSink(str(path), resume=True))
         records = read_csv(str(path))
         success = next(r for r in records if r["error"] is None)
         assert success["energy_kwh"] > 0  # metrics survived the resume
