@@ -23,6 +23,11 @@ Subcommands:
   sensitivity table and ``campaign validate`` / ``campaign list`` check
   manifests and list the bundled ones (``smoke``, ``fig11_accuracy``,
   ``sensitivity_grid``, ...).
+* ``lint`` — domain-aware static analysis (determinism / unit-suffix /
+  concurrency / immutability rules, see :mod:`repro.lint`): ``lint src
+  tests`` exits non-zero on findings; ``--select/--ignore`` filter rule
+  families, ``--format json`` emits a machine-readable report and
+  ``--list-rules`` prints the catalog.
 * ``list-experiments`` — list the registered paper artefacts.
 * ``bench`` — run registered experiments by id and report wall-clock
   times (defaults to the light, analytic artefacts).
@@ -357,6 +362,12 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def cmd_list_experiments(args) -> int:
     from repro.experiments.registry import EXPERIMENTS, list_experiments
 
@@ -557,6 +568,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_list.add_argument("--json", action="store_true")
     campaign_list.set_defaults(func=cmd_campaign, manifest=None)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="domain-aware static analysis (determinism/unit/concurrency/"
+             "immutability rules)",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
 
     list_parser = subparsers.add_parser("list-experiments", help="list paper artefacts")
     list_parser.add_argument("--light", action="store_true", help="hide heavy experiments")

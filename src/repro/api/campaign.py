@@ -348,6 +348,26 @@ def manifest_from_dict(
     )
 
 
+def _open_manifest(path: str, mode: str = "r", **kwargs):
+    """Open a manifest file, normalising raw OSError into ManifestError.
+
+    The CLI shows ValueError text without a traceback, so the message
+    must name the offending path and say what to do.
+    """
+    try:
+        return open(path, mode, **kwargs)
+    except FileNotFoundError:
+        raise ManifestError(
+            f"manifest {path!r} does not exist — check the path"
+        ) from None
+    except OSError as error:
+        reason = error.strerror or str(error)
+        raise ManifestError(
+            f"cannot read manifest {path!r} ({reason}) — check the path "
+            "points at a readable .json or .toml file"
+        ) from None
+
+
 def load_manifest(path: str) -> CampaignManifest:
     """Parse a campaign manifest from a ``.json`` or ``.toml`` file."""
     lowered = path.lower()
@@ -359,13 +379,13 @@ def load_manifest(path: str) -> CampaignManifest:
                 f"{path}: TOML manifests need Python 3.11+ (tomllib); "
                 "use the JSON form on older interpreters"
             ) from None
-        with open(path, "rb") as handle:
+        with _open_manifest(path, "rb") as handle:
             try:
                 data = tomllib.load(handle)
             except tomllib.TOMLDecodeError as error:
                 raise ManifestError(f"{path}: invalid TOML: {error}") from None
     elif lowered.endswith(".json"):
-        with open(path, encoding="utf-8") as handle:
+        with _open_manifest(path, encoding="utf-8") as handle:
             try:
                 data = json.load(handle)
             except json.JSONDecodeError as error:

@@ -53,6 +53,29 @@ from typing import Dict, IO, List, Optional, Set
 from repro.metrics.summary import RunSummary
 
 
+def _open_error(path: str, error: OSError, verb: str) -> ValueError:
+    """Normalise a raw :class:`OSError` into a short actionable message.
+
+    The CLI surfaces ``ValueError`` text directly (no traceback), so the
+    message must stand alone: it names the offending path, the OS
+    reason, and what to do about it.
+    """
+    reason = error.strerror or str(error)
+    if isinstance(error, FileNotFoundError):
+        hint = (
+            "check the path exists"
+            if verb == "read"
+            else "create the parent directory first"
+        )
+    elif isinstance(error, IsADirectoryError):
+        hint = "pass a file path, not a directory"
+    elif isinstance(error, PermissionError):
+        hint = "check the file permissions"
+    else:
+        hint = "check the path"
+    return ValueError(f"cannot {verb} results file {path!r} ({reason}) — {hint}")
+
+
 class ResultsMismatchError(ValueError):
     """A results file does not belong to the sweep trying to resume it.
 
@@ -310,7 +333,10 @@ class _FileSink(ResultSink):
             return
         if not self._seeded:
             self._seed_from_disk()
-        self._handle = open(self.path, "a", newline="", encoding="utf-8")
+        try:
+            self._handle = open(self.path, "a", newline="", encoding="utf-8")
+        except OSError as error:
+            raise _open_error(self.path, error, "write") from None
 
     def _seed_from_disk(self) -> None:
         self._seeded = True
@@ -318,6 +344,8 @@ class _FileSink(ResultSink):
             handle = open(self.path, "rb+")
         except FileNotFoundError:
             return
+        except OSError as error:
+            raise _open_error(self.path, error, "open") from None
         with handle:
             data = handle.read()
             keep, self.count = self._repair(data)
@@ -529,7 +557,11 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
     means the file is corrupt and raises ``ValueError``.
     """
     records: List[Dict[str, object]] = []
-    with open(path, encoding="utf-8") as handle:
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as error:
+        raise _open_error(path, error, "read") from None
+    with handle:
         lines = [
             (number, line.strip())
             for number, line in enumerate(handle, start=1)
@@ -563,7 +595,11 @@ def read_csv(path: str) -> List[Dict[str, object]]:
     mid-write — is dropped.
     """
     records: List[Dict[str, object]] = []
-    with open(path, newline="", encoding="utf-8") as handle:
+    try:
+        handle = open(path, newline="", encoding="utf-8")
+    except OSError as error:
+        raise _open_error(path, error, "read") from None
+    with handle:
         rows = list(csv.DictReader(handle, restval=None))
     for index, row in enumerate(rows):
         if any(value is None for value in row.values()):

@@ -1,0 +1,46 @@
+"""`repro lint` — domain-aware static analysis for the reproduction.
+
+The repo's headline guarantees (byte-identical resume, golden-pinned
+figure tables, cross-backend equivalence) rest on invariants that are
+easy to break silently: a policy calling ``time.time()``, a new
+observer seeding from wall clock, kW mixed into a kJ accumulator, a
+frozen :class:`~repro.api.scenario.Scenario` mutated after
+construction.  This package checks those invariants *statically*, before
+any simulation runs.
+
+Four rule families (see :mod:`repro.lint.rules`):
+
+* **determinism** (``DET``) — no wall-clock reads, no process-global
+  RNG; seeded randomness must flow through :mod:`repro.sim.rng`.
+* **units** (``UNT``) — the suffix vocabulary (``_s``/``_ms``/``_w``/
+  ``_kw``/``_wh``/``_j``/``_kwh``/``_kg``/``_usd``) must not mix across
+  arithmetic, comparisons or assignments without an explicit conversion.
+* **concurrency** (``CNC``) — callables submitted to executor pools must
+  not use mutable default arguments or capture state via lambdas, and
+  result sinks are written only from the consuming side of
+  ``as_completed``.
+* **immutability** (``IMM``) — no attribute assignment on frozen
+  dataclasses outside ``__post_init__``.
+
+Run it with ``python -m repro lint [paths]`` (or the ``repro-lint``
+console script).  Per-line suppressions: ``# repro-lint: disable=RULE``
+(comma-separated ids, or ``all``) on the flagged line.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    Rule,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+]

@@ -1,0 +1,122 @@
+"""Command-line front end: ``python -m repro lint`` / ``repro-lint``.
+
+Exit codes: 0 — no findings; 1 — findings reported; 2 — usage error
+(unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import lint_paths, rule_catalog
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Lint options, shared by the subcommand and the console script."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src); directories "
+        "are walked recursively, skipping lint_fixtures/",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="IDS",
+        help="only report these rule ids (comma-separated; a family "
+        "prefix like DET selects the family); repeatable",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="IDS",
+        help="drop these rule ids (comma-separated, prefix-matched; "
+        "wins over --select); repeatable",
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="text",
+        choices=("text", "json"),
+        help="report format: human-readable lines or a JSON document",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id + description) and exit 0",
+    )
+
+
+def _known_prefixes() -> List[str]:
+    catalog = rule_catalog()
+    prefixes = set(catalog)
+    prefixes.update(rule_id[:3] for rule_id in catalog)
+    return sorted(prefixes)
+
+
+def _validate_ids(entries: Optional[Sequence[str]], option: str) -> None:
+    if not entries:
+        return
+    known = _known_prefixes()
+    for entry in entries:
+        for part in entry.split(","):
+            part = part.strip().upper()
+            if part and part not in known:
+                raise ValueError(
+                    f"{option} {part!r} matches no known rule id or family; "
+                    f"known: {', '.join(known)}"
+                )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (the subcommand entry point)."""
+    if args.list_rules:
+        for rule_id, description in rule_catalog().items():
+            print(f"{rule_id}  {description}")
+        return 0
+    _validate_ids(args.select, "--select")
+    _validate_ids(args.ignore, "--ignore")
+    try:
+        report = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+    except FileNotFoundError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_checked} "
+            f"file(s) ({report.suppressed} suppressed)"
+        )
+        print(summary, file=sys.stderr)
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static analysis: determinism, unit-suffix, "
+            "concurrency and immutability rules for the DynamoLLM "
+            "reproduction."
+        ),
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except ValueError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Rule registry: one module per rule family.
+
+Adding a family = adding a module here that exposes ``RULES`` (a tuple
+of :class:`repro.lint.engine.Rule` instances) and appending it to the
+import list below.  ``ALL_RULES`` is what the engine runs by default.
+"""
+
+from repro.lint.rules.concurrency import RULES as CONCURRENCY_RULES
+from repro.lint.rules.determinism import RULES as DETERMINISM_RULES
+from repro.lint.rules.immutability import RULES as IMMUTABILITY_RULES
+from repro.lint.rules.units import RULES as UNIT_RULES
+
+ALL_RULES = (
+    *DETERMINISM_RULES,
+    *UNIT_RULES,
+    *CONCURRENCY_RULES,
+    *IMMUTABILITY_RULES,
+)
+
+__all__ = ["ALL_RULES"]

@@ -1,0 +1,218 @@
+"""Determinism rules (``DET``): no wall clock, no process-global RNG.
+
+Byte-identical resume and cross-backend equivalence require that every
+run of a scenario makes exactly the same decisions.  Wall-clock reads
+(``time.time()``, ``datetime.now()``) and process-global random state
+(the ``random`` stdlib module, legacy ``np.random.*`` functions) break
+that: results then depend on when the run happened and on what else
+drew from the shared generator.  Seeded randomness must flow through
+:mod:`repro.sim.rng` (``make_rng`` / ``RngStream``), whose streams
+derive from the experiment seed by name.
+
+Exempt files:
+
+* ``repro/__main__.py`` — CLI wall-clock *reporting* (``perf_counter``
+  around a sweep) is legitimate; it never feeds simulation state.
+* ``repro/lint/**`` — the linter itself.
+* ``repro/sim/rng.py`` — the one sanctioned home of
+  ``np.random.default_rng``.
+* ``benchmarks/**`` and ``examples/**`` — wall-clock timing is the
+  point there (benchmark guards, example scripts reporting elapsed
+  time).
+
+``random.Random(seed)`` — an *instance-local, explicitly seeded*
+generator — is allowed (the property tests seed one per test); the
+module-level functions and an unseeded ``Random()`` are what destroy
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+#: Wall-clock reads: module-dotted call targets that make results depend
+#: on when the process ran.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy numpy functions that read/write the process-global RNG state.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "lognormal",
+        "poisson",
+        "exponential",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Constructors that create RNGs outside the seed-derivation scheme.
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+    }
+)
+
+
+def _exempt(ctx: FileContext) -> bool:
+    if ctx.basename == "__main__.py":
+        return True
+    for part in ("lint", "benchmarks", "examples"):
+        if part in ctx.dir_parts:
+            return True
+    return False
+
+
+class _AliasCollector(ast.NodeVisitor):
+    """Maps local names to the dotted module paths they import."""
+
+    def __init__(self) -> None:
+        #: ``import time as t`` → {"t": "time"}
+        self.modules: Dict[str, str] = {}
+        #: ``from time import time as now`` → {"now": "time.time"}
+        self.names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.modules[local] = alias.name if alias.asname else alias.name.split(".")[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never reach stdlib time/random/numpy
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+
+def _dotted(node: ast.AST, aliases: _AliasCollector) -> Optional[str]:
+    """Resolve a Name/Attribute chain to its imported dotted path."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    if node.id in aliases.names:
+        root = aliases.names[node.id]
+    elif node.id in aliases.modules:
+        root = aliases.modules[node.id]
+    else:
+        return None
+    return ".".join([root, *reversed(parts)]) if parts else root
+
+
+class DeterminismRule(Rule):
+    family = "determinism"
+    catalog = {
+        "DET001": (
+            "wall-clock read (time.time/monotonic/perf_counter, "
+            "datetime.now) in simulation code — results must not depend "
+            "on when the run happened; simulated time comes from sim.clock"
+        ),
+        "DET002": (
+            "stdlib `random` is process-global state — draw from a "
+            "seeded repro.sim.rng stream instead"
+        ),
+        "DET003": (
+            "legacy np.random.* call uses the process-global generator — "
+            "draw from a seeded repro.sim.rng stream instead"
+        ),
+        "DET004": (
+            "RNG constructed outside repro.sim.rng — use "
+            "make_rng(seed, name)/RngStream so streams derive from the "
+            "experiment seed"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _exempt(ctx):
+            return
+        aliases = _AliasCollector()
+        aliases.visit(ctx.tree)
+        is_rng_module = ctx.ends_with("sim", "rng.py")
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    "DET001",
+                    f"wall-clock call {dotted}() in simulation code; "
+                    "simulated time must come from the engine clock",
+                )
+            elif dotted == "random" or dotted.startswith("random."):
+                if dotted == "random.Random" and (node.args or node.keywords):
+                    continue  # instance-local, explicitly seeded: fine
+                detail = (
+                    "unseeded random.Random()"
+                    if dotted == "random.Random"
+                    else f"{dotted}()"
+                )
+                yield ctx.finding(
+                    node,
+                    "DET002",
+                    f"{detail} uses process-global / unseeded stdlib "
+                    "randomness; seed an instance explicitly or draw from "
+                    "a repro.sim.rng stream",
+                )
+            elif (
+                dotted.startswith("numpy.random.")
+                and dotted.rsplit(".", 1)[1] in LEGACY_NP_RANDOM
+            ):
+                yield ctx.finding(
+                    node,
+                    "DET003",
+                    f"{dotted}() uses numpy's process-global generator; "
+                    "draw from a seeded repro.sim.rng stream",
+                )
+            elif dotted in GENERATOR_CONSTRUCTORS and not is_rng_module:
+                detail = (
+                    "unseeded " if not node.args and not node.keywords else ""
+                )
+                yield ctx.finding(
+                    node,
+                    "DET004",
+                    f"{detail}{dotted}(...) bypasses the seed-derivation "
+                    "scheme; construct RNGs via repro.sim.rng.make_rng / "
+                    "RngStream",
+                )
+
+
+RULES = (DeterminismRule(),)

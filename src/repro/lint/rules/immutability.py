@@ -1,0 +1,220 @@
+"""Immutability rules (``IMM``): frozen dataclasses stay frozen.
+
+``Scenario`` and ``TraceSpec`` are the durability contract of resumable
+sweeps: their ``key`` is what results files record, so mutating one
+after construction silently re-keys work that already ran.  They are
+``@dataclass(frozen=True)`` precisely so that cannot happen — but
+``object.__setattr__`` (and attribute writes the type checker never
+sees) can still punch through.  These rules flag the punch-throughs:
+
+* ``IMM001`` — ``object.__setattr__(...)`` anywhere outside a
+  ``__post_init__`` (the one sanctioned use: frozen dataclasses
+  initialising derived fields).
+* ``IMM002`` — plain attribute assignment on a value that is statically
+  known to be a frozen dataclass: a parameter annotated with a frozen
+  class, a local constructed from one, or ``self`` inside a frozen
+  class's methods.
+
+The frozen-class name set is collected by the engine's project pre-pass
+over every linted file, unioned with the domain anchors below so a
+single-file run still knows the core API types.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+#: Frozen types the rules must know even when their defining module is
+#: not part of the linted file set (e.g. linting one plugin file).
+DOMAIN_FROZEN = frozenset({"Scenario", "TraceSpec", "Event"})
+
+
+def _annotation_frozen_name(node: Optional[ast.AST], frozen: Set[str]) -> Optional[str]:
+    """The frozen class an annotation names, if any.
+
+    Handles ``Scenario``, ``"Scenario"`` (string annotation),
+    ``module.Scenario`` and ``Optional[Scenario]``-style subscripts.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name) and node.id in frozen:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in frozen:
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text if text in frozen else None
+    if isinstance(node, ast.Subscript):
+        for inner in ast.walk(node.slice):
+            found = _annotation_frozen_name(inner, frozen)
+            if found:
+                return found
+    return None
+
+
+def _constructed_frozen_name(node: ast.AST, frozen: Set[str]) -> Optional[str]:
+    """The frozen class a value expression constructs, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in frozen:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in frozen:
+        return func.attr
+    return None
+
+
+class _FrozenMutationVisitor(ast.NodeVisitor):
+    """Tracks name → frozen-class bindings per scope and flags writes."""
+
+    def __init__(self, ctx: FileContext, frozen: Set[str]) -> None:
+        self.ctx = ctx
+        self.frozen = frozen
+        self.findings: List[Finding] = []
+        self.scopes: List[Dict[str, str]] = [{}]
+        #: (class name, is_frozen) for the innermost enclosing class.
+        self.class_stack: List[tuple] = []
+        self.func_stack: List[str] = []
+
+    # -- scope management -------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        from repro.lint.engine import _has_frozen_decorator
+
+        self.class_stack.append((node.name, _has_frozen_decorator(node)))
+        self.scopes.append({})
+        self.generic_visit(node)
+        self.scopes.pop()
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        bindings: Dict[str, str] = {}
+        args = node.args
+        all_args = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        for arg in all_args:
+            name = _annotation_frozen_name(arg.annotation, self.frozen)
+            if name:
+                bindings[arg.arg] = name
+        # ``self`` in a frozen class's methods: attribute writes raise
+        # FrozenInstanceError at runtime; catch them statically.
+        if self.class_stack and self.class_stack[-1][1] and all_args:
+            bindings.setdefault(all_args[0].arg, self.class_stack[-1][0])
+        self.scopes.append(bindings)
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- bindings ---------------------------------------------------------
+    def _bind_from_value(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            name = _constructed_frozen_name(value, self.frozen)
+            if name:
+                self.scopes[-1][target.id] = name
+            else:
+                # Rebinding to anything else clears the tracked type.
+                self.scopes[-1].pop(target.id, None)
+
+    def _frozen_type_of(self, name: str) -> Optional[str]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- checks -----------------------------------------------------------
+    def _check_attribute_write(self, target: ast.AST, node: ast.AST) -> None:
+        if not (
+            isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name)
+        ):
+            return
+        class_name = self._frozen_type_of(target.value.id)
+        if class_name is None:
+            return
+        self.findings.append(
+            self.ctx.finding(
+                node,
+                "IMM002",
+                f"attribute assignment `{target.value.id}.{target.attr} = "
+                f"...` mutates frozen dataclass {class_name}; derive a new "
+                "instance (with_/dataclasses.replace) instead",
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_attribute_write(target, node)
+            self._bind_from_value(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_attribute_write(node.target, node)
+        if node.value is not None:
+            self._bind_from_value(node.target, node.value)
+        elif isinstance(node.target, ast.Name):
+            name = _annotation_frozen_name(node.annotation, self.frozen)
+            if name:
+                self.scopes[-1][node.target.id] = name
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attribute_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_attribute_write(target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+            and (not self.func_stack or self.func_stack[-1] != "__post_init__")
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    node,
+                    "IMM001",
+                    "object.__setattr__ outside __post_init__ punches "
+                    "through frozen dataclasses; derive a new instance "
+                    "instead",
+                )
+            )
+        self.generic_visit(node)
+
+
+class ImmutabilityRule(Rule):
+    family = "immutability"
+    catalog = {
+        "IMM001": (
+            "object.__setattr__ outside __post_init__ bypasses frozen-"
+            "dataclass protection"
+        ),
+        "IMM002": (
+            "attribute assignment on a value statically known to be a "
+            "frozen dataclass (Scenario/TraceSpec/...)"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "lint" in ctx.dir_parts:
+            return
+        frozen = set(DOMAIN_FROZEN) | set(ctx.project.frozen_classes)
+        visitor = _FrozenMutationVisitor(ctx, frozen)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+RULES = (ImmutabilityRule(),)

@@ -1,0 +1,185 @@
+"""Unit-suffix rules (``UNT``): don't mix kW into a kJ accumulator.
+
+The repo's energy/carbon accounting (DynamoLLM Figures 6/14-16) lives
+or dies on unit discipline: W vs kW, Wh vs kWh, kgCO2/kWh.  The
+convention is a *suffix vocabulary* — a name ending in one of
+
+    ``_s`` ``_ms`` (time)   ``_w`` ``_kw`` (power)
+    ``_j`` ``_wh`` ``_kwh`` (energy)   ``_kg`` (mass)   ``_usd`` (currency)
+
+declares its unit, and two names with *different* suffixes must not
+meet in ``+``/``-``, comparisons, plain assignment or ``+=``/``-=``
+without an explicit conversion in between.
+
+The rules only fire when **both** sides carry a known suffix — a
+function call, arithmetic expression or unsuffixed name has unknown
+units and passes.  That makes any conversion an automatic escape hatch:
+``total_kwh = wh_to_kwh(step_wh)`` and ``total_wh + step_kwh * 1000.0``
+are both fine because a call/expression has no suffix.  Name conversion
+helpers ``convert_*`` or ``<unit>_to_<unit>`` so intent is readable.
+
+Denominator suffixes are not quantities: ``price_per_kwh`` is USD/kWh,
+not an energy, so ``*_per_<suffix>`` names are treated as unsuffixed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+#: Longest-match-first suffix vocabulary → dimension.
+SUFFIX_DIMENSIONS: Tuple[Tuple[str, str], ...] = (
+    ("_kwh", "energy"),
+    ("_usd", "currency"),
+    ("_ms", "time"),
+    ("_kg", "mass"),
+    ("_wh", "energy"),
+    ("_kw", "power"),
+    ("_j", "energy"),
+    ("_s", "time"),
+    ("_w", "power"),
+)
+
+
+def suffix_of(name: str) -> Optional[str]:
+    """The unit suffix a name declares, or ``None``.
+
+    ``*_per_<suffix>`` names (rates with the unit in the denominator)
+    and bare suffixes (a variable literally named ``s`` has no stem) are
+    unsuffixed.
+    """
+    lowered = name.lower()
+    for suffix, _ in SUFFIX_DIMENSIONS:
+        if lowered.endswith(suffix):
+            stem = lowered[: -len(suffix)]
+            if not stem or stem.endswith("_per"):
+                return None
+            return suffix
+    return None
+
+
+def dimension_of(suffix: str) -> str:
+    return dict(SUFFIX_DIMENSIONS)[suffix]
+
+
+def _expr_suffix(node: ast.AST) -> Optional[str]:
+    """Suffix of a plain name/attribute; anything else is unknown."""
+    if isinstance(node, ast.Name):
+        return suffix_of(node.id)
+    if isinstance(node, ast.Attribute):
+        return suffix_of(node.attr)
+    return None
+
+
+def _mix_message(left: str, right: str, context: str) -> str:
+    if dimension_of(left) == dimension_of(right):
+        return (
+            f"{context} mixes {left!r} and {right!r}: same dimension, "
+            "different scales — convert explicitly (e.g. a convert_*/"
+            "*_to_* helper or an inline factor)"
+        )
+    return (
+        f"{context} mixes {left!r} ({dimension_of(left)}) and {right!r} "
+        f"({dimension_of(right)}): incompatible dimensions"
+    )
+
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class UnitSuffixRule(Rule):
+    family = "units"
+    catalog = {
+        "UNT001": (
+            "additive arithmetic or comparison between names with "
+            "different unit suffixes"
+        ),
+        "UNT002": (
+            "assignment (or keyword argument) binds a value to a name "
+            "with a different unit suffix"
+        ),
+        "UNT003": (
+            "augmented +=/-= accumulates a value with a different unit "
+            "suffix into the target"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "lint" in ctx.dir_parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = _expr_suffix(node.left)
+                right = _expr_suffix(node.right)
+                if left and right and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield ctx.finding(
+                        node, "UNT001", _mix_message(left, right, f"`{op}`")
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for index, op in enumerate(node.ops):
+                    if not isinstance(op, _COMPARE_OPS):
+                        continue
+                    left = _expr_suffix(operands[index])
+                    right = _expr_suffix(operands[index + 1])
+                    if left and right and left != right:
+                        yield ctx.finding(
+                            node,
+                            "UNT001",
+                            _mix_message(left, right, "comparison"),
+                        )
+            elif isinstance(node, ast.Assign):
+                value = _expr_suffix(node.value)
+                if value is None:
+                    continue
+                for target in node.targets:
+                    target_suffix = _expr_suffix(target)
+                    if target_suffix and target_suffix != value:
+                        yield ctx.finding(
+                            node,
+                            "UNT002",
+                            _mix_message(target_suffix, value, "assignment"),
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = _expr_suffix(node.value)
+                target_suffix = _expr_suffix(node.target)
+                if value and target_suffix and target_suffix != value:
+                    yield ctx.finding(
+                        node,
+                        "UNT002",
+                        _mix_message(target_suffix, value, "assignment"),
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                value = _expr_suffix(node.value)
+                target_suffix = _expr_suffix(node.target)
+                if value and target_suffix and target_suffix != value:
+                    op = "+=" if isinstance(node.op, ast.Add) else "-="
+                    yield ctx.finding(
+                        node,
+                        "UNT003",
+                        _mix_message(target_suffix, value, f"`{op}`"),
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    param = suffix_of(keyword.arg)
+                    value = _expr_suffix(keyword.value)
+                    if param and value and param != value:
+                        yield ctx.finding(
+                            keyword.value,
+                            "UNT002",
+                            _mix_message(
+                                param, value, f"keyword `{keyword.arg}=`"
+                            ),
+                        )
+
+
+RULES = (UnitSuffixRule(),)

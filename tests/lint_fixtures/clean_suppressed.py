@@ -1,0 +1,21 @@
+"""A clean fixture: real code patterns plus one suppressed violation."""
+
+import time
+
+from repro.sim.rng import RngStream
+
+
+def stamp():
+    # Harness-side timing, deliberately waived for this line.
+    return time.time()  # repro-lint: disable=DET001
+
+
+def seeded_draws(seed: int):
+    stream = RngStream(seed, "fixture")
+    return stream.uniform(0.0, 1.0)
+
+
+def disciplined_units(total_wh, step_kwh, price_per_kwh):
+    total_wh += step_kwh * 1000.0
+    cost_usd = total_wh / 1000.0 * price_per_kwh
+    return cost_usd

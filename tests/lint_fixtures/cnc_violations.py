@@ -1,0 +1,23 @@
+"""Deliberate concurrency violations (CNC family) — never imported."""
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+
+def collect(results, bucket=[]):
+    bucket.extend(results)
+    return bucket
+
+
+def run_job(job, sink):
+    summary = job()
+    sink.write(job.key, summary)
+    return summary
+
+
+def sweep(jobs, sink):
+    with ThreadPoolExecutor() as pool:
+        lazy = [pool.submit(lambda: run_job(job, sink)) for job in jobs]
+        futures = [pool.submit(run_job, job, sink) for job in jobs]
+        for future in as_completed(futures):
+            future.result()
+    return lazy

@@ -1,0 +1,36 @@
+"""Deliberate determinism violations (DET family) — never imported.
+
+These files are golden-test fixtures for ``repro lint``: the expected
+(rule, line) pairs live in ``expected.json``.  The lint walker skips
+``lint_fixtures/`` directories, so CI's ``repro lint src tests`` never
+trips over them; the fixture tests pass the files explicitly.
+"""
+
+import datetime
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def wall_clock_seed():
+    started = time.time()
+    stamp = datetime.datetime.now()
+    return started, stamp
+
+
+def global_rng_draws():
+    value = random.random()
+    pick = random.choice([1, 2, 3])
+    unseeded = random.Random()
+    seeded = random.Random(7)  # instance-local + seeded: not a finding
+    np.random.seed(1234)
+    noise = np.random.uniform(0.0, 1.0)
+    return value, pick, unseeded, seeded, noise
+
+
+def bypassing_generators():
+    stream = default_rng()
+    other = np.random.default_rng(7)
+    return stream, other

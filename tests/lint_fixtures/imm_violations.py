@@ -1,0 +1,18 @@
+"""Deliberate immutability violations (IMM family) — never imported."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PinnedSpec:
+    name: str
+    budget_usd: float
+
+
+def retarget(spec: PinnedSpec, scenario: "Scenario"):
+    spec.name = "edited"
+    scenario.policy = "Other"
+    object.__setattr__(spec, "budget_usd", 0.0)
+    fresh = PinnedSpec(name="x", budget_usd=1.0)
+    fresh.budget_usd = 2.0
+    return spec, scenario, fresh

@@ -1,0 +1,37 @@
+"""Deliberate unit-suffix violations (UNT family) — never imported."""
+
+
+def record(power_w=0.0):
+    return power_w
+
+
+def mixed_arithmetic(step_w, cluster_kw, duration_s, window_ms):
+    total = cluster_kw + step_w
+    if duration_s > window_ms:
+        total = cluster_kw - step_w
+    return total
+
+
+def mixed_assignment(energy_wh, budget_usd):
+    total_kwh = energy_wh
+    spend_kg = budget_usd
+    return total_kwh, spend_kg
+
+
+def mixed_accumulation(readings):
+    total_j = 0.0
+    for sample_kwh in readings:
+        total_j += sample_kwh
+    return total_j
+
+
+def mixed_keyword(step_kw):
+    return record(power_w=step_kw)
+
+
+def conversions_are_fine(energy_wh, step_kwh, price_per_kwh):
+    # Arithmetic expressions and calls have unknown units: explicit
+    # conversions pass, and *_per_* rates are not quantities.
+    energy_wh += step_kwh * 1000.0
+    cost_usd = energy_wh / 1000.0 * price_per_kwh
+    return cost_usd

@@ -663,9 +663,10 @@ def _kill_mid_run(args, watch_path, min_records, cwd, max_wait_s=120.0):
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
-    deadline = time.monotonic() + max_wait_s
+    # Harness wall-clock (subprocess kill deadline), not simulation state.
+    deadline = time.monotonic() + max_wait_s  # repro-lint: disable=DET001
     try:
-        while time.monotonic() < deadline:
+        while time.monotonic() < deadline:  # repro-lint: disable=DET001
             if process.poll() is not None:
                 raise AssertionError(
                     "campaign subprocess finished before the kill landed — "

@@ -647,6 +647,76 @@ class TestSinkForPath:
 
 
 # ----------------------------------------------------------------------
+# OSError normalisation: raw OS failures become actionable ValueErrors
+# ----------------------------------------------------------------------
+class TestSinkOpenErrors:
+    """File-system failures must surface as short actionable messages
+    naming the offending path — the CLI shows ValueError text without a
+    traceback, so raw OSError reprs are useless there."""
+
+    def test_missing_parent_directory_names_path_and_fix(self, tmp_path):
+        path = str(tmp_path / "no" / "such" / "dir" / "out.jsonl")
+        sink = sink_for_path(path)
+        with pytest.raises(ValueError) as excinfo:
+            sink.open()
+        message = str(excinfo.value)
+        assert path in message
+        assert "parent directory" in message
+
+    def test_directory_target_names_path_and_fix(self, tmp_path):
+        sink = sink_for_path(str(tmp_path) + "/dir.csv")
+        (tmp_path / "dir.csv").mkdir()
+        with pytest.raises(ValueError, match="not a directory"):
+            sink.open()
+
+    def test_reader_on_directory_is_actionable(self, tmp_path):
+        target = tmp_path / "dir.jsonl"
+        target.mkdir()
+        with pytest.raises(ValueError) as excinfo:
+            read_jsonl(str(target))
+        assert str(target) in str(excinfo.value)
+
+    def test_reader_on_missing_file_says_check_path(self, tmp_path):
+        missing = str(tmp_path / "gone.csv")
+        from repro.api.sinks import read_csv
+
+        with pytest.raises(ValueError, match="check the path exists"):
+            read_csv(missing)
+
+    def test_cli_surfaces_sink_error_without_traceback(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = str(tmp_path / "missing-dir" / "out.jsonl")
+        code = main(
+            ["sweep", "--backend", "fluid", "--trace", "week",
+             "--rate-scale", "10", "--duration", "3600",
+             "--policies", "SinglePool", "--out", out]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert out in err
+
+    def test_campaign_manifest_missing_file_is_actionable(self, tmp_path):
+        from repro.api.campaign import ManifestError, load_manifest
+
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(ManifestError) as excinfo:
+            load_manifest(missing)
+        message = str(excinfo.value)
+        assert missing in message
+        assert "check the path" in message
+
+    def test_campaign_manifest_directory_is_actionable(self, tmp_path):
+        from repro.api.campaign import ManifestError, load_manifest
+
+        target = tmp_path / "dir.json"
+        target.mkdir()
+        with pytest.raises(ManifestError, match="cannot read manifest"):
+            load_manifest(str(target))
+
+
+# ----------------------------------------------------------------------
 # CLI: python -m repro sweep --out ... --resume
 # ----------------------------------------------------------------------
 class TestCliResume:
