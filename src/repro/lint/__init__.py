@@ -1,4 +1,4 @@
-"""`repro lint` — domain-aware static analysis for the reproduction.
+"""`repro lint` — whole-program static analysis for the reproduction.
 
 The repo's headline guarantees (byte-identical resume, golden-pinned
 figure tables, cross-backend equivalence) rest on invariants that are
@@ -8,7 +8,14 @@ frozen :class:`~repro.api.scenario.Scenario` mutated after
 construction.  This package checks those invariants *statically*, before
 any simulation runs.
 
-Four rule families (see :mod:`repro.lint.rules`):
+The engine runs in two passes: pass one parses every file and extracts
+per-module facts (imports, function signatures, sink calls, suffixed
+assignments — :mod:`repro.lint.graph`); pass two assembles the
+project-wide import and call graphs, propagates determinism taint and
+detects import cycles; then the per-file rules run with the whole
+program visible.
+
+Six rule families (see :mod:`repro.lint.rules`):
 
 * **determinism** (``DET``) — no wall-clock reads, no process-global
   RNG; seeded randomness must flow through :mod:`repro.sim.rng`.
@@ -21,10 +28,25 @@ Four rule families (see :mod:`repro.lint.rules`):
   ``as_completed``.
 * **immutability** (``IMM``) — no attribute assignment on frozen
   dataclasses outside ``__post_init__``.
+* **architecture** (``ARC``) — the declared layering
+  (``sim/llm/core/workload/perf`` → ``metrics/policies/cluster`` →
+  ``api/experiments`` → ``lint``) admits no upward imports, no import
+  cycles, and no cross-package reach into ``_private`` names.
+* **flow** (``DET005``, ``UNT004``/``UNT005``) — interprocedural:
+  simulation code must not reach a wall-clock/global-RNG sink through
+  any chain of wrappers, and unit suffixes must agree across call
+  bindings and returned values.
+
+Pre-existing findings are ratcheted via ``lint_baseline.json``
+(:mod:`repro.lint.baseline`): CI fails only on *new* findings, and the
+baseline may only shrink.  Re-runs are incremental through an on-disk
+cache (:mod:`repro.lint.cache`) keyed by file content and the
+cross-file facts hash.
 
 Run it with ``python -m repro lint [paths]`` (or the ``repro-lint``
 console script).  Per-line suppressions: ``# repro-lint: disable=RULE``
-(comma-separated ids, or ``all``) on the flagged line.
+(comma-separated ids, or ``all``) on the flagged line — note a
+suppressed sink still taints its callers (a waiver is not a proof).
 """
 
 from repro.lint.engine import (

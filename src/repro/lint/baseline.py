@@ -1,0 +1,206 @@
+"""Findings ratchet: adopt stricter rules without a flag day.
+
+A *baseline* is a reviewed inventory of the findings the tree is known
+to carry (``lint_baseline.json``, committed next to the code).  With
+``--baseline``, a lint run fails only on findings **not** in the
+inventory — new debt is blocked the moment it is introduced, while the
+documented debt is paid down incrementally.  The ratchet only turns one
+way: a baselined finding that no longer occurs makes its entry *stale*,
+and stale entries fail the run until pruned with ``--update-baseline``
+— the baseline can shrink but never silently pad itself.
+
+Fingerprints are ``(path, rule, message)`` with an occurrence count —
+deliberately **not** line numbers, so unrelated edits above a baselined
+finding don't break CI.  Paths are stored relative to the baseline
+file's directory (the repo root in practice), so the file is stable
+across checkouts.
+
+Partial runs are safe: staleness is only assessed for entries whose
+file was actually linted in this run (or whose file no longer exists) —
+a pre-commit invocation that lints two files cannot invalidate entries
+for the other two hundred.  ``--update-baseline`` likewise rewrites
+only the linted files' entries and carries the rest forward unchanged,
+and is idempotent: updating twice writes byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, List, Tuple
+
+from repro.lint.engine import Finding, LintReport, LintUsageError
+
+#: Bump on any change to the on-disk baseline layout.
+BASELINE_FORMAT_VERSION = "repro-lint-baseline-v1"
+
+#: (relative path, rule id, message) — the identity of a finding for
+#: ratchet purposes.  Line/column excluded on purpose.
+FingerprintKey = Tuple[str, str, str]
+
+
+def _relative(path: str, base_dir: str) -> str:
+    """Finding/linted path -> baseline-relative posix path."""
+    rel = os.path.relpath(os.path.abspath(path), base_dir)
+    return rel.replace(os.sep, "/")
+
+
+def fingerprint(finding: Finding, base_dir: str) -> FingerprintKey:
+    return (_relative(finding.path, base_dir), finding.rule, finding.message)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """Parsed baseline file: fingerprint -> expected occurrence count."""
+
+    path: str
+    entries: Dict[FingerprintKey, int] = dataclasses.field(default_factory=dict)
+    #: True when the file existed on disk (an absent baseline is empty:
+    #: every finding is new).
+    existed: bool = False
+
+    @property
+    def base_dir(self) -> str:
+        return os.path.dirname(os.path.abspath(self.path))
+
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of subtracting a baseline from a report."""
+
+    #: Findings not covered by the baseline — these fail the run.
+    new_findings: Tuple[Finding, ...]
+    #: Findings absorbed by the baseline.
+    matched: int
+    #: Baseline entries (fingerprint, missing count) whose finding no
+    #: longer occurs — the ratchet: these fail the run until pruned.
+    stale: Tuple[Tuple[FingerprintKey, int], ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings and not self.stale
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    baseline = Baseline(path=path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return baseline
+    except (OSError, ValueError) as error:
+        raise LintUsageError(f"unreadable baseline {path!r}: {error}") from None
+    if not isinstance(data, dict) or data.get("version") != BASELINE_FORMAT_VERSION:
+        raise LintUsageError(
+            f"baseline {path!r} is not a {BASELINE_FORMAT_VERSION} document"
+        )
+    findings = data.get("findings")
+    if not isinstance(findings, list):
+        raise LintUsageError(f"baseline {path!r}: 'findings' must be a list")
+    baseline.existed = True
+    for entry in findings:
+        if not isinstance(entry, dict):
+            raise LintUsageError(f"baseline {path!r}: malformed entry {entry!r}")
+        try:
+            key = (
+                str(entry["path"]),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError):
+            raise LintUsageError(
+                f"baseline {path!r}: malformed entry {entry!r}"
+            ) from None
+        if count < 1:
+            raise LintUsageError(
+                f"baseline {path!r}: entry for {key[0]!r} has count {count}"
+            )
+        baseline.entries[key] = baseline.entries.get(key, 0) + count
+    return baseline
+
+
+def _linted_relpaths(report: LintReport, base_dir: str) -> frozenset[str]:
+    return frozenset(_relative(path, base_dir) for path in report.paths)
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> BaselineResult:
+    """Subtract the baseline from a report.
+
+    Exact subtraction: each baseline entry absorbs at most ``count``
+    occurrences of its fingerprint; occurrences beyond the count — and
+    any fingerprint not in the baseline — are new findings.  Entries
+    whose file was linted this run but whose finding occurred fewer
+    times than recorded are stale (so are entries whose file is gone).
+    """
+    base_dir = baseline.base_dir
+    remaining = dict(baseline.entries)
+    new: List[Finding] = []
+    matched = 0
+    for finding in report.findings:
+        key = fingerprint(finding, base_dir)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    linted = _linted_relpaths(report, base_dir)
+    stale: List[Tuple[FingerprintKey, int]] = []
+    for key in sorted(baseline.entries):
+        missing = remaining.get(key, 0)
+        if missing <= 0:
+            continue
+        rel_path = key[0]
+        if rel_path in linted:
+            stale.append((key, missing))
+        elif not os.path.exists(os.path.join(base_dir, rel_path)):
+            stale.append((key, missing))
+    return BaselineResult(
+        new_findings=tuple(new), matched=matched, stale=tuple(stale)
+    )
+
+
+def update_baseline(report: LintReport, baseline: Baseline) -> bool:
+    """Rewrite the baseline from the report; returns True if it changed.
+
+    Entries for files linted in this run are replaced by the run's
+    findings; entries for un-linted files that still exist are carried
+    forward (partial updates never drop sibling debt).  The write is
+    atomic and the output canonical (sorted), so back-to-back updates
+    are byte-identical.
+    """
+    base_dir = baseline.base_dir
+    linted = _linted_relpaths(report, base_dir)
+    merged: Dict[FingerprintKey, int] = {}
+    for key, count in baseline.entries.items():
+        if key[0] in linted:
+            continue
+        if not os.path.exists(os.path.join(base_dir, key[0])):
+            continue
+        merged[key] = count
+    for finding in report.findings:
+        key = fingerprint(finding, base_dir)
+        merged[key] = merged.get(key, 0) + 1
+    changed = merged != baseline.entries or not baseline.existed
+    payload = {
+        "version": BASELINE_FORMAT_VERSION,
+        "findings": [
+            {"path": path, "rule": rule, "message": message, "count": count}
+            for (path, rule, message), count in sorted(merged.items())
+        ],
+    }
+    directory = base_dir or "."
+    fd, temp_path = tempfile.mkstemp(prefix=".lint-baseline-", dir=directory)
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, os.path.abspath(baseline.path))
+    baseline.entries = merged
+    baseline.existed = True
+    return changed

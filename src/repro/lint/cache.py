@@ -1,0 +1,155 @@
+"""Incremental lint cache: skip re-analysis of unchanged files.
+
+The cache is a single JSON document keyed by absolute file path.  Each
+entry stores two independently reusable layers:
+
+* **facts** — the serialized :class:`~repro.lint.graph.ModuleFacts`
+  (or the parse-error finding for an unparsable file), keyed by the
+  SHA-256 of the file's text.  Reusing facts means the file is never
+  re-parsed; the project graph is reassembled from cached facts in
+  milliseconds.
+* **results** — the file's raw findings (before ``--select`` /
+  ``--ignore`` filtering, after suppressions) plus its suppressed
+  count, keyed by ``(content hash, project-facts hash)``.  The facts
+  hash covers only the *cross-file-visible* projection of the project
+  (signatures, taint chains, cycles, frozen classes, layer config), so
+  editing one file re-lints other files only when something they could
+  actually observe changed.
+
+Invalidation is automatic: a content change misses both layers for
+that file; a cross-file-facts change misses the results layer for
+every file but reuses all facts.  A version bump
+(:data:`CACHE_FORMAT_VERSION`, or :data:`~repro.lint.graph.GRAPH_SCHEMA_VERSION`
+via the facts hash) discards the whole cache.  A corrupt or
+foreign-format cache file is silently ignored and rebuilt — the cache
+is a pure accelerator and never changes findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+#: Bump on any change to the on-disk cache layout.
+CACHE_FORMAT_VERSION = "repro-lint-cache-v1"
+
+
+def content_hash(source: str) -> str:
+    """SHA-256 of a file's text (the per-file cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """One cache file, loaded eagerly and written back atomically."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._files: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (
+                isinstance(data, dict)
+                and data.get("version") == CACHE_FORMAT_VERSION
+                and isinstance(data.get("files"), dict)
+            ):
+                self._files = data["files"]
+        except (OSError, ValueError):
+            pass
+
+    # -- facts layer ---------------------------------------------------
+    def facts_for(
+        self, key: str, digest: str
+    ) -> Optional[Tuple[Optional[Dict[str, object]], Optional[Dict[str, object]]]]:
+        """Cached ``(facts, parse_error)`` for a file, or ``None``."""
+        entry = self._files.get(key)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            return None
+        facts = entry.get("facts")
+        error = entry.get("parse_error")
+        return (
+            facts if isinstance(facts, dict) else None,
+            error if isinstance(error, dict) else None,
+        )
+
+    def store_facts(
+        self,
+        key: str,
+        digest: str,
+        facts: Optional[Dict[str, object]],
+        parse_error: Optional[Dict[str, object]],
+    ) -> None:
+        self._files[key] = {
+            "hash": digest,
+            "facts": facts,
+            "parse_error": parse_error,
+            "results": {},
+        }
+        self._dirty = True
+
+    # -- results layer -------------------------------------------------
+    def results_for(
+        self, key: str, digest: str, facts_hash: str
+    ) -> Optional[Dict[str, object]]:
+        """Cached ``{"findings": [...], "suppressed": n}`` or ``None``."""
+        entry = self._files.get(key)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        results = entry.get("results")
+        cached = results.get(facts_hash) if isinstance(results, dict) else None
+        if isinstance(cached, dict):
+            self.hits += 1
+            return cached
+        self.misses += 1
+        return None
+
+    def store_results(
+        self,
+        key: str,
+        digest: str,
+        facts_hash: str,
+        findings: List[Dict[str, object]],
+        suppressed: int,
+    ) -> None:
+        entry = self._files.get(key)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            entry = {"hash": digest, "facts": None, "parse_error": None}
+            self._files[key] = entry
+        # One results entry per file: an outdated facts hash is dead
+        # weight (the project changed under it), so replace rather than
+        # accumulate.
+        entry["results"] = {
+            facts_hash: {"findings": findings, "suppressed": suppressed}
+        }
+        self._dirty = True
+
+    # -- persistence ---------------------------------------------------
+    def save(self) -> None:
+        """Atomically rewrite the cache file (best-effort: an unwritable
+        cache directory degrades to an uncached run, never an error)."""
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_FORMAT_VERSION, "files": self._files}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        temp_path = None
+        try:
+            fd, temp_path = tempfile.mkstemp(
+                prefix=".repro-lint-cache-", dir=directory
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_path, self.path)
+            self._dirty = False
+        except OSError:
+            if temp_path is not None:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass

@@ -21,10 +21,30 @@ import ast
 import dataclasses
 import os
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.lint.cache import LintCache
+    from repro.lint.graph import ModuleFacts, ProjectGraph
 
 #: Finding id used for files the engine cannot parse at all.
 PARSE_ERROR_ID = "E001"
+
+
+class LintUsageError(ValueError):
+    """A caller mistake (exit code 2), not a finding: e.g. explicitly
+    passing a non-Python file to lint."""
 
 #: Directory names never descended into while walking a directory
 #: argument.  ``lint_fixtures`` holds *deliberate* violations for the
@@ -82,6 +102,9 @@ class ProjectContext:
     #: linted file set, unioned with the domain anchors the immutability
     #: rules must know even on single-file runs.
     frozen_classes: Set[str] = dataclasses.field(default_factory=set)
+    #: Whole-program view (import graph, call graph, determinism taint,
+    #: layering) assembled by :mod:`repro.lint.graph` before rules run.
+    graph: Optional["ProjectGraph"] = None
 
 
 class FileContext:
@@ -113,6 +136,13 @@ class FileContext:
         """True when the normalised path ends with ``parts``."""
         return self.rel_parts[-len(parts):] == tuple(parts)
 
+    @property
+    def module_facts(self) -> Optional["ModuleFacts"]:
+        """This file's record in the project graph (``None`` without one)."""
+        if self.project.graph is None:
+            return None
+        return self.project.graph.by_path.get(self.path)
+
     def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
         return Finding(
             path=self.path,
@@ -142,12 +172,15 @@ def _relative_parts(path: str) -> Tuple[str, ...]:
 class Rule:
     """Base class for one rule family.
 
-    Subclasses set ``family`` (short kebab-case name) and ``catalog``
-    (finding id → one-line description; the ids the family can emit)
-    and implement :meth:`check`.
+    Subclasses set ``family`` (short kebab-case name), ``invariant``
+    (the one-line property the family defends, shown by
+    ``--list-rules``) and ``catalog`` (finding id → one-line
+    description; the ids the family can emit) and implement
+    :meth:`check`.
     """
 
     family: str = ""
+    invariant: str = ""
     catalog: Dict[str, str] = {}
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -161,6 +194,11 @@ class LintReport:
     findings: List[Finding]
     files_checked: int
     suppressed: int
+    #: Files whose findings were served from the incremental cache.
+    files_reused: int = 0
+    #: The linted file paths, as given (baseline stale-checks scope to
+    #: these: a baseline entry for an unlinted file is never "stale").
+    paths: Tuple[str, ...] = ()
 
     @property
     def exit_code(self) -> int:
@@ -171,6 +209,7 @@ class LintReport:
             "findings": [finding.to_dict() for finding in self.findings],
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "files_reused": self.files_reused,
         }
 
 
@@ -296,6 +335,12 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                 raise FileNotFoundError(
                     f"cannot lint {path!r}: no such file or directory"
                 )
+            if not path.endswith(".py"):
+                raise LintUsageError(
+                    f"cannot lint {path!r}: not a Python file (directories "
+                    "are walked for *.py files; explicitly-passed files "
+                    "must end in .py)"
+                )
             seen.add(path)
             yield path
 
@@ -313,24 +358,32 @@ def rule_catalog() -> Dict[str, str]:
         catalog.update(rule.catalog)
     return dict(sorted(catalog.items()))
 
-def _lint_tree(
-    ctx: FileContext,
-    rules: Sequence[Rule],
-    select: Optional[Sequence[str]],
-    ignore: Optional[Sequence[str]],
-) -> Tuple[List[Finding], int]:
+def _lint_tree(ctx: FileContext, rules: Sequence[Rule]) -> Tuple[List[Finding], int]:
+    """Run every rule on one file: (unfiltered findings, suppressed count).
+
+    Suppressions are applied here (they are a per-file fact, so the
+    result is cacheable); ``--select``/``--ignore`` filtering happens in
+    the caller, on top of cached or fresh findings alike.
+    """
     suppressions = parse_suppressions(ctx.source)
     kept: List[Finding] = []
     suppressed = 0
     for rule in rules:
         for finding in rule.check(ctx):
-            if not rule_selected(finding.rule, select, ignore):
-                continue
             if _suppressed(finding, suppressions):
                 suppressed += 1
                 continue
             kept.append(finding)
     return kept, suppressed
+
+def _parse_error_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=error.lineno or 1,
+        col=(error.offset or 0) + 1,
+        rule=PARSE_ERROR_ID,
+        message=f"syntax error: {error.msg}",
+    )
 
 def lint_source(
     source: str,
@@ -340,7 +393,13 @@ def lint_source(
     ignore: Optional[Iterable[str]] = None,
     project: Optional[ProjectContext] = None,
 ) -> List[Finding]:
-    """Lint one source string (the unit-test entry point)."""
+    """Lint one source string (the unit-test entry point).
+
+    Without a ``project``, a single-file project graph is assembled so
+    the whole-program families (ARC/flow) see intra-file facts.
+    """
+    from repro.lint.graph import build_project_graph, extract_module_facts
+
     select = _normalise_ids(select)
     ignore = _normalise_ids(ignore)
     rules = list(rules) if rules is not None else default_rules()
@@ -349,32 +408,52 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        finding = Finding(
-            path=path,
-            line=error.lineno or 1,
-            col=(error.offset or 0) + 1,
-            rule=PARSE_ERROR_ID,
-            message=f"syntax error: {error.msg}",
-        )
+        finding = _parse_error_finding(path, error)
         return [finding] if rule_selected(PARSE_ERROR_ID, select, ignore) else []
-    project.frozen_classes |= collect_frozen_classes(tree)
+    facts = extract_module_facts(path, tree)
+    project.frozen_classes |= set(facts.frozen_classes)
+    if project.graph is None:
+        project.graph = build_project_graph([facts])
     ctx = FileContext(path, source, tree, project)
-    findings, _ = _lint_tree(ctx, rules, select, ignore)
-    return sorted(findings)
+    findings, _ = _lint_tree(ctx, rules)
+    return sorted(
+        f for f in findings if rule_selected(f.rule, select, ignore)
+    )
 
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     rules: Optional[Sequence[Rule]] = None,
+    cache: Union["LintCache", str, None] = None,
 ) -> LintReport:
-    """Lint files/directories and return the filtered, sorted report."""
+    """Lint files/directories and return the filtered, sorted report.
+
+    ``cache`` (a path or a :class:`~repro.lint.cache.LintCache`) enables
+    the incremental cache; it is ignored when a custom ``rules`` list is
+    passed, since cached findings would not reflect it.
+    """
+    from repro.lint.cache import LintCache, content_hash
+    from repro.lint.graph import (
+        ModuleFacts,
+        build_project_graph,
+        extract_module_facts,
+        facts_from_dict,
+    )
+
     select = _normalise_ids(select)
     ignore = _normalise_ids(ignore)
+    custom_rules = rules is not None
     rules = list(rules) if rules is not None else default_rules()
-    project = ProjectContext()
+    store: Optional[LintCache] = None
+    if cache is not None and not custom_rules:
+        store = cache if isinstance(cache, LintCache) else LintCache(cache)
 
-    parsed: List[Tuple[str, str, Optional[ast.AST], Optional[Finding]]] = []
+    # Pass 1: read every file, reusing cached per-file facts (no parse)
+    # where the content hash matches; parse + extract the rest.
+    parsed: List[
+        Tuple[str, str, str, Optional[ast.AST], Optional[ModuleFacts], Optional[Finding]]
+    ] = []
     for path in iter_python_files(paths):
         try:
             with open(path, encoding="utf-8") as handle:
@@ -383,39 +462,128 @@ def lint_paths(
             raise FileNotFoundError(
                 f"cannot lint {path!r}: {error.strerror or error}"
             ) from None
-        try:
-            tree: Optional[ast.AST] = ast.parse(source, filename=path)
-            parse_error: Optional[Finding] = None
-        except SyntaxError as error:
-            tree = None
-            parse_error = Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 0) + 1,
-                rule=PARSE_ERROR_ID,
-                message=f"syntax error: {error.msg}",
-            )
-        parsed.append((path, source, tree, parse_error))
-        if tree is not None:
-            # Pre-pass: frozen-class names must be known project-wide
-            # before any immutability rule runs on any file.
-            project.frozen_classes |= collect_frozen_classes(tree)
+        digest = content_hash(source)
+        key = os.path.abspath(path)
+        tree: Optional[ast.AST] = None
+        facts: Optional[ModuleFacts] = None
+        parse_error: Optional[Finding] = None
+        cached = store.facts_for(key, digest) if store is not None else None
+        if cached is not None:
+            facts_dict, error_dict = cached
+            if facts_dict is not None:
+                facts = dataclasses.replace(
+                    facts_from_dict(facts_dict), path=path
+                )
+            elif error_dict is not None:
+                parse_error = Finding(
+                    path=path,
+                    line=int(error_dict["line"]),  # type: ignore[arg-type]
+                    col=int(error_dict["col"]),  # type: ignore[arg-type]
+                    rule=PARSE_ERROR_ID,
+                    message=str(error_dict["message"]),
+                )
+        else:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as error:
+                parse_error = _parse_error_finding(path, error)
+            else:
+                facts = extract_module_facts(path, tree)
+            if store is not None:
+                store.store_facts(
+                    key,
+                    digest,
+                    facts.to_dict() if facts is not None else None,
+                    {
+                        "line": parse_error.line,
+                        "col": parse_error.col,
+                        "message": parse_error.message,
+                    }
+                    if parse_error is not None
+                    else None,
+                )
+        parsed.append((path, source, digest, tree, facts, parse_error))
 
+    # Pass 2: assemble the whole-program graph — import graph, call
+    # graph, determinism taint, layering — and the cross-file facts
+    # hash that keys the per-file results cache.
+    graph = build_project_graph(
+        [facts for *_, facts, _ in parsed if facts is not None]
+    )
+    project = ProjectContext(
+        frozen_classes={
+            name
+            for *_, facts, _ in parsed
+            if facts is not None
+            for name in facts.frozen_classes
+        },
+        graph=graph,
+    )
+
+    # Pass 3: per-file rule runs, served from the results cache where
+    # (content hash, facts hash) both match.
     findings: List[Finding] = []
     suppressed = 0
-    for path, source, tree, parse_error in parsed:
-        if tree is None:
+    reused = 0
+    for path, source, digest, tree, facts, parse_error in parsed:
+        if facts is None:
             if parse_error is not None and rule_selected(
                 PARSE_ERROR_ID, select, ignore
             ):
                 findings.append(parse_error)
             continue
-        ctx = FileContext(path, source, tree, project)
-        kept, skipped = _lint_tree(ctx, rules, select, ignore)
-        findings.extend(kept)
-        suppressed += skipped
+        key = os.path.abspath(path)
+        raw: List[Finding]
+        cached_results = (
+            store.results_for(key, digest, graph.facts_hash)
+            if store is not None
+            else None
+        )
+        if cached_results is not None:
+            raw = [
+                Finding(
+                    path=path,
+                    line=int(entry["line"]),  # type: ignore[arg-type, index, call-overload]
+                    col=int(entry["col"]),  # type: ignore[arg-type, index, call-overload]
+                    rule=str(entry["rule"]),  # type: ignore[index, call-overload]
+                    message=str(entry["message"]),  # type: ignore[index, call-overload]
+                )
+                for entry in cached_results["findings"]  # type: ignore[union-attr, index]
+            ]
+            file_suppressed = int(cached_results["suppressed"])  # type: ignore[arg-type, index, call-overload]
+            reused += 1
+        else:
+            if tree is None:
+                tree = ast.parse(source, filename=path)
+            ctx = FileContext(path, source, tree, project)
+            raw, file_suppressed = _lint_tree(ctx, rules)
+            raw.sort()
+            if store is not None:
+                store.store_results(
+                    key,
+                    digest,
+                    graph.facts_hash,
+                    [
+                        {
+                            "line": f.line,
+                            "col": f.col,
+                            "rule": f.rule,
+                            "message": f.message,
+                        }
+                        for f in raw
+                    ],
+                    file_suppressed,
+                )
+        suppressed += file_suppressed
+        findings.extend(
+            f for f in raw if rule_selected(f.rule, select, ignore)
+        )
+    if store is not None:
+        store.save()
     return LintReport(
         findings=sorted(findings),
         files_checked=len(parsed),
         suppressed=suppressed,
+        files_reused=reused,
+        paths=tuple(entry[0] for entry in parsed),
     )

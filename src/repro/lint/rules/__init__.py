@@ -3,10 +3,17 @@
 Adding a family = adding a module here that exposes ``RULES`` (a tuple
 of :class:`repro.lint.engine.Rule` instances) and appending it to the
 import list below.  ``ALL_RULES`` is what the engine runs by default.
+
+Per-file families (determinism, units, concurrency, immutability) see
+one AST at a time; the whole-program families (architecture, flow-*)
+additionally consume the project graph built by
+:mod:`repro.lint.graph` before any rule runs.
 """
 
+from repro.lint.rules.architecture import RULES as ARCHITECTURE_RULES
 from repro.lint.rules.concurrency import RULES as CONCURRENCY_RULES
 from repro.lint.rules.determinism import RULES as DETERMINISM_RULES
+from repro.lint.rules.flow import RULES as FLOW_RULES
 from repro.lint.rules.immutability import RULES as IMMUTABILITY_RULES
 from repro.lint.rules.units import RULES as UNIT_RULES
 
@@ -15,6 +22,8 @@ ALL_RULES = (
     *UNIT_RULES,
     *CONCURRENCY_RULES,
     *IMMUTABILITY_RULES,
+    *ARCHITECTURE_RULES,
+    *FLOW_RULES,
 )
 
 __all__ = ["ALL_RULES"]

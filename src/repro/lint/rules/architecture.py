@@ -1,0 +1,184 @@
+"""Architecture rules (``ARC``): the layer order is law.
+
+The package is layered so that accounting can trust the kernel and
+orchestration can trust both::
+
+    foundation     sim, llm, core, workload, perf
+    accounting     metrics, policies, cluster
+    orchestration  api, experiments
+    tooling        lint
+
+A module may import **downward** (toward the foundation) or **sideways**
+(within its own layer); importing upward couples the kernel to its
+consumers, and an import cycle makes module initialisation order — and
+therefore behaviour — depend on which entry point loaded first.  Both
+are exactly the coupling the ROADMAP's cross-host/heterogeneous-fleet
+tentpoles would otherwise accrete silently.
+
+* ``ARC001`` — upward import: a module imports a package in a higher
+  layer (deferred function-level imports count too; layering is about
+  dependency direction, not import time).
+* ``ARC002`` — import cycle: the module participates in a top-level
+  import cycle (strongly connected component of the import graph).
+  Function-level imports are excluded here — deferring an import is the
+  sanctioned way to break a cycle.
+* ``ARC003`` — privacy reach: a module imports a ``_private`` name or
+  ``_private`` module from a *different* top-level package.  Underscore
+  names are a package's internal surface; reaching across packages for
+  one bypasses the public API that the layer contract is about.
+
+Only modules inside the layered packages are checked: tests,
+benchmarks, examples and the top-level orchestrators (``__main__``,
+``quick_comparison``) may import anything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule
+from repro.lint.graph import LAYER_NAMES, ImportEdge, layer_of
+
+
+def _is_private_name(name: str) -> bool:
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf.startswith("_") and not leaf.startswith("__")
+
+
+def _private_module_component(target: str) -> str:
+    """First ``_private`` component of a dotted module path, or ``""``."""
+    for component in target.split("."):
+        if _is_private_name(component):
+            return component
+    return ""
+
+
+class ArchitectureRule(Rule):
+    family = "architecture"
+    invariant = (
+        "imports point downward or sideways in the declared layer order "
+        "(sim/llm/core/workload/perf -> metrics/policies/cluster -> "
+        "api/experiments -> lint), never form cycles, and never reach "
+        "another package's _private names"
+    )
+    catalog = {
+        "ARC001": (
+            "upward import: a module imports a package from a higher "
+            "layer of the declared architecture"
+        ),
+        "ARC002": (
+            "top-level import cycle: module initialisation order (and "
+            "behaviour) depends on which entry point loaded first"
+        ),
+        "ARC003": (
+            "cross-package reach into a _private name or _private "
+            "module — underscore names are internal to their package"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        facts = ctx.module_facts
+        graph = ctx.project.graph
+        if facts is None or graph is None:
+            return
+        layer = layer_of(facts.package)
+        if layer is None:
+            return  # unlayered: tests, benchmarks, orchestrators
+
+        cycle = graph.cycles.get(facts.module)
+        reported_cycle_edges: Set[Tuple[int, int]] = set()
+        for edge in facts.imports:
+            if not edge.is_project or edge.target == "":
+                continue
+            target_package = edge.target.split(".")[0]
+            yield from self._check_upward(
+                ctx, facts.package, layer, target_package, edge
+            )
+            if (
+                cycle is not None
+                and edge.top_level
+                and edge.target in cycle
+                and edge.target != facts.module
+                and (edge.line, edge.col) not in reported_cycle_edges
+            ):
+                reported_cycle_edges.add((edge.line, edge.col))
+                yield Finding(
+                    path=ctx.path,
+                    line=edge.line,
+                    col=edge.col,
+                    rule="ARC002",
+                    message=(
+                        f"import of '{edge.target}' closes a top-level "
+                        "import cycle: "
+                        + " <-> ".join(cycle)
+                        + " — defer one import into the function that "
+                        "needs it"
+                    ),
+                )
+            yield from self._check_privacy(ctx, facts.package, target_package, edge)
+
+    def _check_upward(
+        self,
+        ctx: FileContext,
+        package: str,
+        layer: int,
+        target_package: str,
+        edge: ImportEdge,
+    ) -> Iterator[Finding]:
+        target_layer = layer_of(target_package)
+        if target_layer is None or target_layer <= layer:
+            return
+        yield Finding(
+            path=ctx.path,
+            line=edge.line,
+            col=edge.col,
+            rule="ARC001",
+            message=(
+                f"upward import: '{package}' ({LAYER_NAMES[layer]} layer) "
+                f"imports '{edge.target}' ({LAYER_NAMES[target_layer]} "
+                "layer); imports must point downward or sideways in the "
+                "architecture"
+            ),
+        )
+
+    def _check_privacy(
+        self,
+        ctx: FileContext,
+        package: str,
+        target_package: str,
+        edge: ImportEdge,
+    ) -> Iterator[Finding]:
+        if target_package == package:
+            return  # intra-package privacy is the package's business
+        private_module = _private_module_component(edge.target)
+        if private_module:
+            yield Finding(
+                path=ctx.path,
+                line=edge.line,
+                col=edge.col,
+                rule="ARC003",
+                message=(
+                    f"import of private module '{edge.target}' from "
+                    f"another package ('{package}' -> '{target_package}'): "
+                    f"'{private_module}' is internal to its package — "
+                    "use (or add) a public API"
+                ),
+            )
+            return
+        for name, line, col in edge.names:
+            if _is_private_name(name):
+                yield Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=col,
+                    rule="ARC003",
+                    message=(
+                        f"import of private name '{name}' from "
+                        f"'{edge.target}' in another package "
+                        f"('{package}' -> '{target_package}'): underscore "
+                        "names are internal — use (or add) a public API"
+                    ),
+                )
+
+
+RULES = (ArchitectureRule(),)

@@ -66,6 +66,11 @@ def _submitted_names(tree: ast.AST) -> Set[str]:
 
 class ConcurrencyRule(Rule):
     family = "concurrency"
+    invariant = (
+        "work fanned out to executor pools is pure: no shared mutable "
+        "defaults, no by-reference captures, sinks written only by the "
+        "as_completed consumer"
+    )
     catalog = {
         "CNC001": (
             "mutable default argument ([]/{}/set()) is shared across "

@@ -33,57 +33,22 @@ from typing import Dict, Iterator, Optional
 
 from repro.lint.engine import FileContext, Finding, Rule
 
-#: Wall-clock reads: module-dotted call targets that make results depend
-#: on when the process ran.
-WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.clock_gettime",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.date.today",
-    }
+# Sink vocabulary lives in the leaf module repro.lint.sinks (shared with
+# the project graph's taint propagation); re-exported here for callers
+# that treat the DET family as the source of truth.
+from repro.lint.sinks import (
+    GENERATOR_CONSTRUCTORS,
+    LEGACY_NP_RANDOM,
+    WALL_CLOCK_CALLS,
 )
 
-#: Legacy numpy functions that read/write the process-global RNG state.
-LEGACY_NP_RANDOM = frozenset(
-    {
-        "seed",
-        "rand",
-        "randn",
-        "randint",
-        "random",
-        "random_sample",
-        "ranf",
-        "sample",
-        "choice",
-        "shuffle",
-        "permutation",
-        "uniform",
-        "normal",
-        "lognormal",
-        "poisson",
-        "exponential",
-        "get_state",
-        "set_state",
-    }
-)
-
-#: Constructors that create RNGs outside the seed-derivation scheme.
-GENERATOR_CONSTRUCTORS = frozenset(
-    {
-        "numpy.random.default_rng",
-        "numpy.random.Generator",
-        "numpy.random.RandomState",
-        "numpy.random.SeedSequence",
-    }
-)
+__all__ = [
+    "GENERATOR_CONSTRUCTORS",
+    "LEGACY_NP_RANDOM",
+    "WALL_CLOCK_CALLS",
+    "DeterminismRule",
+    "RULES",
+]
 
 
 def _exempt(ctx: FileContext) -> bool:
@@ -136,6 +101,10 @@ def _dotted(node: ast.AST, aliases: _AliasCollector) -> Optional[str]:
 
 class DeterminismRule(Rule):
     family = "determinism"
+    invariant = (
+        "simulation results depend only on the scenario and its seed — "
+        "never on wall-clock time or process-global RNG state"
+    )
     catalog = {
         "DET001": (
             "wall-clock read (time.time/monotonic/perf_counter, "

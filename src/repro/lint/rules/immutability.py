@@ -197,6 +197,11 @@ class _FrozenMutationVisitor(ast.NodeVisitor):
 
 class ImmutabilityRule(Rule):
     family = "immutability"
+    invariant = (
+        "frozen dataclasses (Scenario, TraceSpec, ...) are never "
+        "mutated after construction — their keys are the durability "
+        "contract of resumable sweeps"
+    )
     catalog = {
         "IMM001": (
             "object.__setattr__ outside __post_init__ bypasses frozen-"

@@ -91,6 +91,10 @@ _COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
 
 class UnitSuffixRule(Rule):
     family = "units"
+    invariant = (
+        "names with different unit suffixes never meet in arithmetic, "
+        "comparison or binding without an explicit conversion"
+    )
     catalog = {
         "UNT001": (
             "additive arithmetic or comparison between names with "

@@ -1,0 +1,65 @@
+"""Determinism-sink vocabulary, shared by DET rules and the graph.
+
+A *sink* is a call that makes results depend on process state outside
+the experiment seed: wall-clock reads and process-global RNG.  The
+per-file DET001-004 rules flag direct sink calls; the project graph
+(:mod:`repro.lint.graph`) uses the same vocabulary to propagate taint
+through wrappers for DET005.  This module is a dependency leaf so both
+can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+#: Wall-clock reads: module-dotted call targets that make results depend
+#: on when the process ran.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy numpy functions that read/write the process-global RNG state.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "lognormal",
+        "poisson",
+        "exponential",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Constructors that create RNGs outside the seed-derivation scheme.
+#: Deliberately *not* taint sinks: a seeded ``default_rng(seed)`` is
+#: deterministic — DET004 polices construction site, not reproducibility.
+GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+    }
+)

@@ -1,0 +1,14 @@
+"""Deliberate violations: cross-package reach into private surface.
+
+Importing a ``_private`` name — or a ``_private`` module — from another
+top-level package bypasses its public API (ARC003).  The direction is
+downward (api -> cluster), so ARC001 stays silent: privacy and layering
+are independent contracts.
+"""
+
+import repro.cluster._impl
+from repro.cluster.power_model import _internal_budget_w
+
+
+def peek():
+    return _internal_budget_w, repro.cluster._impl

@@ -1,0 +1,21 @@
+"""Deliberate violations: unit flow across call boundaries.
+
+``record_power_kw(load_w)`` binds a watts name to a kilowatts parameter
+(UNT004 — per-file UNT002 only sees keyword arguments); assigning
+``step_energy_wh()``'s result to ``total_kwh`` mixes the function's
+declared suffix with the target's (UNT005).
+"""
+
+
+def record_power_kw(power_kw):
+    return power_kw
+
+
+def step_energy_wh():
+    return 1.0
+
+
+def account(load_w):
+    record_power_kw(load_w)
+    total_kwh = step_energy_wh()
+    return total_kwh

@@ -1,0 +1,7 @@
+"""Deliberate violation: half of a top-level import cycle (ARC002)."""
+
+from repro.policies.arc_cycle_b import follow_b
+
+
+def lead_a():
+    return follow_b()

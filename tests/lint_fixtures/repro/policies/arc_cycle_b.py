@@ -1,0 +1,7 @@
+"""Deliberate violation: the other half of the import cycle (ARC002)."""
+
+from repro.policies.arc_cycle_a import lead_a
+
+
+def follow_b():
+    return lead_a()

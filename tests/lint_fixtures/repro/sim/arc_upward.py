@@ -1,0 +1,11 @@
+"""Deliberate violation: foundation-layer code importing orchestration.
+
+``sim`` (foundation) importing ``api`` (orchestration) couples the
+simulator kernel to its consumers — ARC001.
+"""
+
+from repro.api.scenario import Scenario
+
+
+def build():
+    return Scenario

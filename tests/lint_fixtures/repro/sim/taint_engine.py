@@ -1,0 +1,12 @@
+"""Deliberate violation: sim code calling a laundered wall-clock helper.
+
+Nothing in this file touches ``time`` — per-file DET001 sees a clean
+module.  DET005 resolves ``elapsed_s`` through the import, finds it
+tainted, and reports the full cross-file path down to ``time.time()``.
+"""
+
+from repro.sim.taint_helpers import elapsed_s
+
+
+def step():
+    return elapsed_s()

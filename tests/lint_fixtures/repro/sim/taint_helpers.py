@@ -1,0 +1,16 @@
+"""Deliberate violations: wall-clock laundering helpers.
+
+``_read_clock`` calls the sink directly (DET001); ``elapsed_s`` is the
+wrapper that per-file analysis cannot see through — its call to
+``_read_clock`` is flagged only by the call-graph taint rule (DET005).
+"""
+
+import time
+
+
+def _read_clock():
+    return time.time()
+
+
+def elapsed_s():
+    return _read_clock()

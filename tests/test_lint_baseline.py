@@ -1,0 +1,353 @@
+"""Tests for the findings ratchet (baseline) and the incremental cache.
+
+The ratchet's contract, exercised as seeded property tests:
+
+* subtraction is exact — baselined findings are never reported, and
+  findings outside the baseline are always reported;
+* ``--update-baseline`` is idempotent (byte-identical JSON);
+* a stale entry (the finding was fixed) fails the run until pruned,
+  and pruning only ever shrinks the baseline.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    update_baseline,
+)
+from repro.lint.cache import CACHE_FORMAT_VERSION, LintCache, content_hash
+from repro.lint.engine import LintReport, LintUsageError, Rule, lint_paths
+
+#: Each file carries two distinct unit violations (different messages),
+#: plus one duplicated fingerprint (same rule+message, two lines).
+VIOLATION_SOURCE = (
+    "total_kwh = step_wh\n"
+    "budget_usd = mass_kg\n"
+    "again_kwh = step_wh\n"
+    "repeat_kwh = step_wh\n"
+)
+
+
+def make_tree(tmp_path, count=4):
+    paths = []
+    for index in range(count):
+        path = tmp_path / f"mod_{index}.py"
+        path.write_text(VIOLATION_SOURCE)
+        paths.append(str(path))
+    return paths
+
+
+def lint_tree(paths):
+    return lint_paths(paths)
+
+
+def baseline_at(tmp_path):
+    return load_baseline(str(tmp_path / "lint_baseline.json"))
+
+
+# ======================================================================
+# Exact subtraction (seeded property test)
+# ======================================================================
+class TestExactSubtraction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_baselined_never_reported_new_always_reported(self, tmp_path, seed):
+        rng = random.Random(seed)
+        paths = make_tree(tmp_path)
+        full = lint_tree(paths)
+        assert full.findings
+
+        subset = rng.sample(full.findings, rng.randint(0, len(full.findings)))
+        partial = LintReport(
+            findings=sorted(subset),
+            files_checked=len(paths),
+            suppressed=0,
+            paths=tuple(paths),
+        )
+        baseline = baseline_at(tmp_path)
+        update_baseline(partial, baseline)
+
+        result = apply_baseline(full, baseline)
+        base_dir = baseline.base_dir
+        # Multiset equality on fingerprints: every occurrence is either
+        # absorbed (baselined) or reported (new) — nothing lost, nothing
+        # double-counted.
+        def counts(findings):
+            table = {}
+            for finding in findings:
+                key = fingerprint(finding, base_dir)
+                table[key] = table.get(key, 0) + 1
+            return table
+
+        reported = counts(result.new_findings)
+        absorbed = dict(baseline.entries)
+        expected = counts(full.findings)
+        combined = dict(absorbed)
+        for key, value in reported.items():
+            combined[key] = combined.get(key, 0) + value
+        assert combined == expected
+        assert result.matched == len(subset)
+        assert result.stale == ()  # subset came from the live tree
+
+    def test_no_baseline_reports_everything(self, tmp_path):
+        paths = make_tree(tmp_path)
+        full = lint_tree(paths)
+        baseline = baseline_at(tmp_path)  # file absent -> empty
+        assert not baseline.existed
+        result = apply_baseline(full, baseline)
+        assert result.new_findings == tuple(full.findings)
+        assert result.matched == 0
+
+
+# ======================================================================
+# Idempotent update
+# ======================================================================
+class TestUpdateIdempotent:
+    def test_double_update_is_byte_identical(self, tmp_path):
+        paths = make_tree(tmp_path)
+        report = lint_tree(paths)
+        baseline = baseline_at(tmp_path)
+        assert update_baseline(report, baseline) is True
+        first = open(baseline.path, "rb").read()
+        assert update_baseline(report, baseline) is False
+        second = open(baseline.path, "rb").read()
+        assert first == second
+
+    def test_updated_baseline_makes_run_clean(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        result = apply_baseline(lint_tree(paths), load_baseline(baseline.path))
+        assert result.clean
+
+    def test_partial_update_preserves_unlinted_entries(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        before = dict(baseline.entries)
+        # Re-lint only the first file; the other files' entries survive.
+        update_baseline(lint_tree(paths[:1]), baseline)
+        assert baseline.entries == before
+
+
+# ======================================================================
+# The ratchet: stale entries fail until pruned; baseline only shrinks
+# ======================================================================
+class TestRatchet:
+    def test_fixed_finding_goes_stale_and_fails(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+
+        # Fix one violation: drop the incompatible-dimension line.
+        fixed = tmp_path / "mod_0.py"
+        fixed.write_text(VIOLATION_SOURCE.replace("budget_usd = mass_kg\n", ""))
+        result = apply_baseline(lint_tree(paths), load_baseline(baseline.path))
+        assert result.new_findings == ()
+        assert len(result.stale) == 1
+        ((key, missing),) = result.stale
+        assert key[1] == "UNT002" and missing == 1
+        assert not result.clean  # CI fails until the entry is pruned
+
+    def test_pruning_shrinks_and_cleans(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        before_total = baseline.total()
+
+        fixed = tmp_path / "mod_0.py"
+        fixed.write_text(VIOLATION_SOURCE.replace("budget_usd = mass_kg\n", ""))
+        update_baseline(lint_tree(paths), baseline)
+        assert baseline.total() == before_total - 1
+        assert apply_baseline(lint_tree(paths), load_baseline(baseline.path)).clean
+
+    def test_partially_fixed_duplicate_fingerprint_counts_exactly(self, tmp_path):
+        """Two occurrences of the same (path, rule, message): fixing one
+        leaves missing=1 stale, not a silently absorbed pair."""
+        paths = make_tree(tmp_path, count=1)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        # Drop one of the three identical step_wh mixes.
+        (tmp_path / "mod_0.py").write_text(
+            VIOLATION_SOURCE.replace("repeat_kwh = step_wh\n", "")
+        )
+        result = apply_baseline(lint_tree(paths), load_baseline(baseline.path))
+        assert result.new_findings == ()
+        ((_, missing),) = result.stale
+        assert missing == 1
+
+    def test_deleted_file_entry_is_stale_even_unlinted(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        os.unlink(paths[0])
+        result = apply_baseline(lint_tree(paths[1:]), load_baseline(baseline.path))
+        assert result.stale  # the dead file's entries must be pruned
+        update_baseline(lint_tree(paths[1:]), baseline)
+        assert all(not key[0].endswith("mod_0.py") for key in baseline.entries)
+
+    def test_new_finding_always_fails_despite_baseline(self, tmp_path):
+        paths = make_tree(tmp_path)
+        baseline = baseline_at(tmp_path)
+        update_baseline(lint_tree(paths), baseline)
+        (tmp_path / "mod_0.py").write_text(
+            VIOLATION_SOURCE + "fresh_ms = other_s\n"
+        )
+        result = apply_baseline(lint_tree(paths), load_baseline(baseline.path))
+        assert len(result.new_findings) == 1
+        assert not result.clean
+
+
+# ======================================================================
+# Baseline file format errors
+# ======================================================================
+class TestBaselineFormat:
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintUsageError, match="unreadable baseline"):
+            load_baseline(str(path))
+
+    def test_wrong_version_is_usage_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": "other", "findings": []}))
+        with pytest.raises(LintUsageError, match="not a repro-lint-baseline"):
+            load_baseline(str(path))
+
+    def test_nonpositive_count_is_usage_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": "repro-lint-baseline-v1",
+                    "findings": [
+                        {"path": "x.py", "rule": "UNT002", "message": "m", "count": 0}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(LintUsageError, match="count 0"):
+            load_baseline(str(path))
+
+
+# ======================================================================
+# Incremental cache
+# ======================================================================
+class TestIncrementalCache:
+    def test_warm_run_reuses_every_file_and_matches(self, tmp_path):
+        paths = make_tree(tmp_path)
+        cache = str(tmp_path / "cache.json")
+        cold = lint_paths(paths, cache=cache)
+        warm = lint_paths(paths, cache=cache)
+        assert cold.files_reused == 0
+        assert warm.files_reused == len(paths)
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+
+    def test_local_edit_invalidates_only_that_file(self, tmp_path):
+        """A body edit that changes nothing cross-file-visible re-lints
+        one file; the siblings stay cached."""
+        paths = make_tree(tmp_path)
+        cache = str(tmp_path / "cache.json")
+        lint_paths(paths, cache=cache)
+        (tmp_path / "mod_0.py").write_text(VIOLATION_SOURCE + "\n# comment\n")
+        warm = lint_paths(paths, cache=cache)
+        assert warm.files_reused == len(paths) - 1
+
+    def test_cross_file_visible_edit_invalidates_results_everywhere(self, tmp_path):
+        package = tmp_path / "repro" / "sim"
+        package.mkdir(parents=True)
+        helpers = package / "helpers.py"
+        engine = package / "engine.py"
+        helpers.write_text("def elapsed_s():\n    return 0.0\n")
+        engine.write_text(
+            "from repro.sim.helpers import elapsed_s\n"
+            "def step():\n    return elapsed_s()\n"
+        )
+        cache = str(tmp_path / "cache.json")
+        paths = [str(helpers), str(engine)]
+        clean = lint_paths(paths, cache=cache)
+        assert clean.findings == []
+        # Introduce a sink in helpers: engine's cached (clean) result is
+        # keyed by the old facts hash and must NOT be served.
+        helpers.write_text(
+            "import time\ndef elapsed_s():\n    return time.time()\n"
+        )
+        tainted = lint_paths(paths, cache=cache)
+        assert tainted.files_reused == 0
+        assert any(
+            f.rule == "DET005" and f.path.endswith("engine.py")
+            for f in tainted.findings
+        )
+
+    def test_select_ignore_applied_on_top_of_cache(self, tmp_path):
+        paths = make_tree(tmp_path)
+        cache = str(tmp_path / "cache.json")
+        lint_paths(paths, cache=cache)
+        filtered = lint_paths(paths, ignore=["UNT"], cache=cache)
+        assert filtered.files_reused == len(paths)
+        assert filtered.findings == []
+
+    def test_corrupt_cache_is_silently_rebuilt(self, tmp_path):
+        paths = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{broken")
+        report = lint_paths(paths, cache=str(cache))
+        assert report.findings
+        assert json.loads(cache.read_text())["version"] == CACHE_FORMAT_VERSION
+
+    def test_version_mismatch_discards_cache(self, tmp_path):
+        paths = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths(paths, cache=str(cache))
+        data = json.loads(cache.read_text())
+        data["version"] = "ancient"
+        cache.write_text(json.dumps(data))
+        report = lint_paths(paths, cache=str(cache))
+        assert report.files_reused == 0
+
+    def test_custom_rules_disable_cache(self, tmp_path):
+        class Nothing(Rule):
+            family = "nothing"
+            catalog = {"ZZZ001": "never fires"}
+
+            def check(self, ctx):
+                return iter(())
+
+        paths = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        report = lint_paths(paths, rules=[Nothing()], cache=str(cache))
+        assert report.findings == []
+        assert not cache.exists()
+
+    def test_unwritable_cache_path_leaves_no_temp_files(self, tmp_path):
+        """A cache path that cannot be replaced (here: a directory)
+        degrades to an uncached run and must not strand mkstemp files."""
+        paths = make_tree(tmp_path)
+        target = tmp_path / "cache-dir"
+        target.mkdir()
+        report = lint_paths(paths, cache=str(target))
+        assert report.findings
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith(".repro-lint-cache-")
+        ]
+        assert leftovers == []
+
+    def test_content_hash_is_stable(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash("abc") != content_hash("abd")
+
+    def test_cache_object_can_be_passed_directly(self, tmp_path):
+        paths = make_tree(tmp_path)
+        store = LintCache(str(tmp_path / "cache.json"))
+        lint_paths(paths, cache=store)
+        warm = lint_paths(paths, cache=store)
+        assert warm.files_reused == len(paths)
+        assert store.hits > 0
