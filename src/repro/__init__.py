@@ -40,34 +40,94 @@ Quickstart (CLI)::
     python -m repro list-experiments
 """
 
-from repro.llm import MODEL_CATALOG, get_model, LLAMA2_70B, H100, DGX_H100
-from repro.perf import EnergyModel, InstanceConfig, Profiler, EnergyPerformanceProfile
-from repro.perf.profiler import get_default_profile
-from repro.workload import (
-    Request,
-    classify_request,
-    DEFAULT_SLO_POLICY,
-    make_one_hour_trace,
-    make_day_trace,
-    make_week_trace,
+import importlib
+from typing import Any
+
+#: Lazy re-export table (PEP 562).  The root package must not eagerly
+#: import its subpackages: ``import repro.core`` has to succeed without
+#: pulling ``repro.cluster`` into ``sys.modules`` (the controllers
+#: depend only on the protocols in :mod:`repro.core.interfaces`; the
+#: concrete cluster objects are injected at the composition roots).
+#: Each convenience name resolves — and is cached on the module — on
+#: first attribute access.
+_EXPORTS = {
+    "MODEL_CATALOG": "repro.llm",
+    "get_model": "repro.llm",
+    "LLAMA2_70B": "repro.llm",
+    "H100": "repro.llm",
+    "DGX_H100": "repro.llm",
+    "EnergyModel": "repro.perf",
+    "InstanceConfig": "repro.perf",
+    "Profiler": "repro.perf",
+    "EnergyPerformanceProfile": "repro.perf",
+    "get_default_profile": "repro.perf.profiler",
+    "Request": "repro.workload",
+    "classify_request": "repro.workload",
+    "DEFAULT_SLO_POLICY": "repro.workload",
+    "make_one_hour_trace": "repro.workload",
+    "make_day_trace": "repro.workload",
+    "make_week_trace": "repro.workload",
+    "GPUCluster": "repro.cluster",
+    "InferenceInstance": "repro.cluster",
+    "DynamoLLM": "repro.core",
+    "ControllerKnobs": "repro.core",
+    "ControllerEpochs": "repro.core",
+    "ALL_POLICIES": "repro.policies",
+    "DYNAMO_LLM": "repro.policies",
+    "SINGLE_POOL": "repro.policies",
+    "build_policy": "repro.policies",
+    "get_policy_spec": "repro.policies",
+    "RunSummary": "repro.metrics",
+    "CarbonIntensityTrace": "repro.metrics",
+    "CostModel": "repro.metrics",
+    "ExperimentConfig": "repro.experiments",
+    "run_policy_on_trace": "repro.experiments",
+    "run_all_policies": "repro.experiments",
+    "FluidRunner": "repro.experiments",
+    "Observer": "repro.api",
+    "Scenario": "repro.api",
+    "ScenarioGrid": "repro.api",
+    "SimulationEngine": "repro.api",
+    "TraceSpec": "repro.api",
+    "run_grid": "repro.api",
+    "run_policies": "repro.api",
+    "run_scenario": "repro.api",
+    "runs": "repro.api",
+    "sweep": "repro.api",
+}
+
+#: Subpackages reachable as ``repro.<name>`` after a bare ``import repro``.
+_SUBPACKAGES = frozenset(
+    {
+        "llm",
+        "perf",
+        "workload",
+        "sim",
+        "cluster",
+        "core",
+        "policies",
+        "metrics",
+        "experiments",
+        "api",
+        "lint",
+    }
 )
-from repro.cluster import GPUCluster, InferenceInstance
-from repro.core import DynamoLLM, ControllerKnobs, ControllerEpochs
-from repro.policies import ALL_POLICIES, DYNAMO_LLM, SINGLE_POOL, build_policy, get_policy_spec
-from repro.metrics import RunSummary, CarbonIntensityTrace, CostModel
-from repro.experiments import ExperimentConfig, run_policy_on_trace, run_all_policies, FluidRunner
-from repro.api import (
-    Observer,
-    Scenario,
-    ScenarioGrid,
-    SimulationEngine,
-    TraceSpec,
-    run_grid,
-    run_policies,
-    run_scenario,
-    runs,
-    sweep,
-)
+
+
+def __getattr__(name: str) -> Any:
+    source = _EXPORTS.get(name)
+    if source is not None:
+        value = getattr(importlib.import_module(source), name)
+        globals()[name] = value
+        return value
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__) | _SUBPACKAGES)
+
 
 __version__ = "0.2.0"
 
@@ -134,7 +194,11 @@ def quick_comparison(
     policies (in parallel when ``workers`` > 1), and returns their
     summaries plus SinglePool-normalised energy.
     """
+    from repro.api import run_policies
+    from repro.experiments import ExperimentConfig
     from repro.metrics.summary import compare_energy
+    from repro.policies import ALL_POLICIES
+    from repro.workload import make_one_hour_trace
 
     trace = make_one_hour_trace(service, rate_scale=rate_scale)
     if duration_s < trace.duration:

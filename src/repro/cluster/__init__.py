@@ -3,8 +3,10 @@
 This package is the substrate that replaces the paper's physical DGX
 H100 cluster: GPU servers, LLM inference instances with continuous
 batching, DVFS with switching overheads, and VM provisioning with the
-cold-start costs of Table V.  Controllers (in :mod:`repro.core`) operate
-on these objects exactly as they would drive real servers.
+cold-start costs of Table V.  These objects implement the protocols the
+controllers in :mod:`repro.core` are written against
+(:mod:`repro.core.interfaces`) and are injected into the framework at
+the composition roots — ``core`` never imports this package.
 """
 
 from repro.cluster.frequency import FrequencyController

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.cluster.instance import InferenceInstance
+from repro.cluster.instance import InferenceInstance, RequestState
 from repro.cluster.server import Server
 from repro.cluster.vm import VMProvisioner
 from repro.llm.catalog import ModelSpec
@@ -203,7 +203,7 @@ class GPUCluster:
         )
         return candidates[0]
 
-    def remove_instance(self, instance_id: str) -> List:
+    def remove_instance(self, instance_id: str) -> List[RequestState]:
         """Remove an instance, returning any requests it had not started."""
         instance = self.instances.pop(instance_id, None)
         if instance is None:

@@ -1,0 +1,35 @@
+"""Deprecation plumbing for names that moved out of :mod:`repro.cluster`.
+
+The shared leaf hardware cost models (frequency-switch overheads, VM
+boot breakdowns) migrated down into :mod:`repro.core.hw` so the
+controller layer owns them.  The historical ``repro.cluster.frequency``
+and ``repro.cluster.vm`` locations keep re-exporting them through
+module-level ``__getattr__`` hooks that funnel into the warn-once
+helper below, in the style of the earlier ``experiments.runner`` shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_DEPRECATIONS_WARNED: Set[str] = set()
+
+
+def warn_moved_once(key: str, old: str, new: str) -> None:
+    """Warn (once per process per name) that ``old`` now lives at ``new``."""
+    if key in _DEPRECATIONS_WARNED:
+        return
+    _DEPRECATIONS_WARNED.add(key)
+    # stacklevel 3: attribute the warning to the shim's caller.
+    warnings.warn(
+        f"{old} moved to {new}; import it from there "
+        "(the repro.cluster alias will be removed)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process shim warnings (for tests)."""
+    _DEPRECATIONS_WARNED.clear()

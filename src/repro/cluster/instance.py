@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.frequency import FrequencyController
 from repro.llm.catalog import ModelSpec
@@ -184,7 +184,7 @@ class InferenceInstance:
             stolen.append(self.waiting.pop())
         return stolen
 
-    def adopt(self, states: List[RequestState], now: float) -> None:
+    def adopt(self, states: Sequence[RequestState], now: float) -> None:
         """Accept request states re-steered from another instance."""
         for state in states:
             self.waiting.append(state)
@@ -213,7 +213,9 @@ class InferenceInstance:
         self.completed.extend(squashed)
         return squashed
 
-    def reorder_queue_by_deadline(self, slo_lookup) -> None:
+    def reorder_queue_by_deadline(
+        self, slo_lookup: Callable[[Request], float]
+    ) -> None:
         """Earliest-deadline-first reordering of the waiting queue.
 
         ``slo_lookup`` maps a request to its TTFT SLO in seconds.
@@ -371,7 +373,7 @@ class InferenceInstance:
         available: float,
         cursor: float,
         tokens_by_type: Dict[str, int],
-    ) -> tuple:
+    ) -> Tuple[int, float]:
         rate = self.latency.prefill_rate(config)
         pending = [state for state in self.running if not state.prefill_done]
         if not pending:

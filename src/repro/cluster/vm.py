@@ -16,35 +16,32 @@ the critical path) pays the full cold-boot delay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, List
+
+from repro.cluster.compat import warn_moved_once
+from repro.core import hw
+
+#: The boot-time breakdowns (paper Table V) moved down to
+#: :mod:`repro.core.hw`; the old module-level names are served by
+#: ``__getattr__`` with a deprecation warning (they must not be real
+#: module attributes, or the shim would never fire).
+_MOVED_TO_HW = (
+    "COLD_BOOT_BREAKDOWN_S",
+    "WARM_BOOT_BREAKDOWN_S",
+    "cold_boot_time_s",
+    "warm_boot_time_s",
+)
 
 
-#: Breakdown of the naive instance-creation overheads (seconds), Table V.
-COLD_BOOT_BREAKDOWN_S: Dict[str, float] = {
-    "create_vm": 90.0,
-    "init_distributed_env": 120.0,
-    "download_weights": 180.0,
-    "setup_engine": 18.0,
-    "install_weights_kv": 15.0,
-}
-
-#: Breakdown with DynamoLLM's optimisations: weights cached locally,
-#: snapshot boot with pre-initialised engine, so only the snapshot
-#: restore and weight installation remain.
-WARM_BOOT_BREAKDOWN_S: Dict[str, float] = {
-    "restore_snapshot": 20.0,
-    "install_weights_kv": 15.0,
-}
-
-
-def cold_boot_time_s() -> float:
-    """Total naive instance-creation time (about 7 minutes)."""
-    return sum(COLD_BOOT_BREAKDOWN_S.values())
-
-
-def warm_boot_time_s() -> float:
-    """Total optimised instance-creation time."""
-    return sum(WARM_BOOT_BREAKDOWN_S.values())
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_HW:
+        warn_moved_once(
+            f"vm.{name}",
+            f"repro.cluster.vm.{name}",
+            f"repro.core.hw.{name}",
+        )
+        return getattr(hw, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -76,7 +73,7 @@ class VMProvisioner:
     _completed: List[ProvisioningRequest] = field(default_factory=list, init=False)
 
     def boot_time_s(self, proactive: bool) -> float:
-        return warm_boot_time_s() if proactive else cold_boot_time_s()
+        return hw.warm_boot_time_s() if proactive else hw.cold_boot_time_s()
 
     def request_server(self, server_id: str, now: float) -> ProvisioningRequest:
         """Start provisioning a server; returns the in-flight request."""

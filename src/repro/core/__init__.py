@@ -4,8 +4,30 @@ The hierarchy of controllers (cluster / pool / instance), the
 energy-optimisation problem and its hierarchical decomposition, the
 re-sharding planner with minimal weight movement, the reconfiguration
 overhead accounting, and the emergency handling for mis-predictions.
+
+The controllers depend only on abstractions this package owns: the
+protocols in :mod:`repro.core.interfaces` describe the hardware surface
+they drive, and concrete implementations (``repro.cluster.*``) are
+injected at the composition roots.  Shared leaf hardware cost models
+(frequency-switch overheads, VM boot times) live in
+:mod:`repro.core.hw`.
 """
 
+from repro.core.hw import (
+    COLD_BOOT_BREAKDOWN_S,
+    DEFAULT_SWITCH_OVERHEAD_S,
+    OPTIMIZED_SWITCH_OVERHEAD_S,
+    WARM_BOOT_BREAKDOWN_S,
+    cold_boot_time_s,
+    warm_boot_time_s,
+)
+from repro.core.interfaces import (
+    BootCostModel,
+    ClusterLike,
+    FrequencyPlanLike,
+    InstanceLike,
+    QueuedRequestLike,
+)
 from repro.core.resharding import (
     ShardLayout,
     ReshardPlan,
@@ -29,6 +51,17 @@ from repro.core.instance_manager import InstanceManager
 from repro.core.framework import DynamoLLM, ControllerKnobs, ControllerEpochs
 
 __all__ = [
+    "COLD_BOOT_BREAKDOWN_S",
+    "DEFAULT_SWITCH_OVERHEAD_S",
+    "OPTIMIZED_SWITCH_OVERHEAD_S",
+    "WARM_BOOT_BREAKDOWN_S",
+    "cold_boot_time_s",
+    "warm_boot_time_s",
+    "BootCostModel",
+    "ClusterLike",
+    "FrequencyPlanLike",
+    "InstanceLike",
+    "QueuedRequestLike",
     "ShardLayout",
     "ReshardPlan",
     "plan_reshard",

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.cluster.cluster import GPUCluster
+from repro.core.interfaces import ClusterLike
 from repro.core.pools import PoolState, build_pool_states
 from repro.perf.profile import EnergyPerformanceProfile
 from repro.sim.events import EventLog
@@ -41,7 +41,7 @@ class ClusterManager:
 
     scheme: ClassificationScheme
     profile: EnergyPerformanceProfile
-    cluster: GPUCluster
+    cluster: ClusterLike
     predictor: OutputLengthPredictor
     load_predictor: TemplateLoadPredictor = field(default_factory=TemplateLoadPredictor)
     events: EventLog = field(default_factory=EventLog)

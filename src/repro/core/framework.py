@@ -18,10 +18,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.cluster.cluster import GPUCluster
-from repro.cluster.instance import InferenceInstance
 from repro.core.cluster_manager import ClusterManager
 from repro.core.instance_manager import InstanceManager
+from repro.core.interfaces import ClusterLike, InstanceLike
 from repro.core.overheads import OverheadModel
 from repro.core.pool_manager import PoolManager
 from repro.llm.catalog import ModelSpec
@@ -67,7 +66,7 @@ class DynamoLLM:
     def __init__(
         self,
         model: ModelSpec,
-        cluster: GPUCluster,
+        cluster: ClusterLike,
         profile: EnergyPerformanceProfile,
         scheme: ClassificationScheme = DEFAULT_SCHEME,
         slo_policy: SLOPolicy = DEFAULT_SLO_POLICY,
@@ -198,7 +197,7 @@ class DynamoLLM:
     # ------------------------------------------------------------------
     # Request routing (policy interface)
     # ------------------------------------------------------------------
-    def route(self, request: Request, now: float) -> Optional[InferenceInstance]:
+    def route(self, request: Request, now: float) -> Optional[InstanceLike]:
         """Steer a request to an instance; returns the chosen instance."""
         overloaded = {
             name: manager.is_overloaded(now)
@@ -213,7 +212,7 @@ class DynamoLLM:
 
     def _select_with_fallback(
         self, pool_name: str, request: Request, now: float
-    ) -> Optional[InferenceInstance]:
+    ) -> Optional[InstanceLike]:
         visited = set()
         current = pool_name
         while current not in visited:
@@ -228,7 +227,7 @@ class DynamoLLM:
                 break
             current = nxt
         # Last resort: any instance in the cluster.
-        instances: List[InferenceInstance] = list(self.cluster.instances.values())
+        instances: List[InstanceLike] = list(self.cluster.instances.values())
         if not instances:
             return None
         return min(instances, key=lambda i: (i.queue_length, i.load_estimate_tps))

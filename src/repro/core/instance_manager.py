@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.cluster.instance import InferenceInstance
+from repro.core.interfaces import InstanceLike
 from repro.core.pool_manager import PoolManager
 from repro.perf.profile import EnergyPerformanceProfile
 from repro.sim.events import EventLog
@@ -87,7 +87,7 @@ class InstanceManager:
             chosen[instance.instance_id] = instance.frequency.current_frequency_mhz
         return chosen
 
-    def _best_frequency(self, instance: InferenceInstance) -> Optional[int]:
+    def _best_frequency(self, instance: InstanceLike) -> Optional[int]:
         load = instance.load_estimate_tps
         # Keep headroom so small load upticks between frequency epochs do not
         # immediately violate the SLO.
@@ -106,7 +106,7 @@ class InstanceManager:
         request_type = classify_request(request)
         return self.slo_policy.ttft_slo(request_type) * max(1.0, request.slo_scale)
 
-    def _check_emergency(self, instance: InferenceInstance, now: float) -> bool:
+    def _check_emergency(self, instance: InstanceLike, now: float) -> bool:
         """Detect and react to a building backlog; returns True if triggered."""
         oldest_wait = instance.oldest_wait_s(now)
         queue_length = instance.queue_length
@@ -155,9 +155,9 @@ class InstanceManager:
 
         return self.slo_policy.ttft_slo(RequestType.from_name(self.governing_type))
 
-    def _resteer(self, instance: InferenceInstance, now: float) -> int:
+    def _resteer(self, instance: InstanceLike, now: float) -> int:
         """Move half of the waiting queue to the least-loaded sibling."""
-        siblings: List[InferenceInstance] = [
+        siblings: List[InstanceLike] = [
             other
             for other in self.pool_manager.instances()
             if other.instance_id != instance.instance_id and not other.is_offline(now)

@@ -1,0 +1,193 @@
+"""Protocols the controller hierarchy is written against.
+
+The core layer owns its abstractions: every interaction the cluster /
+pool / instance managers have with the simulated hardware goes through
+the :class:`typing.Protocol` types below, and the concrete
+implementations (``repro.cluster.GPUCluster``,
+``repro.cluster.InferenceInstance``, ...) are injected at the
+composition roots (``api.engine``, ``api.fluid_engine``,
+``experiments.runner``, ``policies.base``).  ``cluster`` sits a layer
+*above* ``core`` in the declared architecture, so it legally implements
+these protocols while ``core`` never imports it — that inversion is
+what lets alternative hardware models (heterogeneous fleets, other GPU
+generations) slot in under an unchanged control plane.
+
+The protocols capture exactly the member surface the five controller
+modules use — no more.  The frozen value types the managers exchange
+(:class:`~repro.core.optimizer.ShardingPlan`,
+:class:`~repro.core.optimizer.InstanceAllocation`,
+:class:`~repro.core.resharding.ShardLayout`,
+:class:`~repro.core.resharding.ReshardPlan`) already live in ``core``
+and are re-exported here so implementors need a single import.
+
+All protocols are :func:`typing.runtime_checkable`: conformance is
+pinned both structurally (mypy, ``tests/typing_conformance.py``) and at
+runtime (``isinstance`` checks in ``tests/test_interfaces.py``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core.optimizer import InstanceAllocation, ShardingPlan
+from repro.core.resharding import ReshardPlan, ShardLayout
+from repro.llm.gpu import GPUSpec, ServerSpec
+from repro.workload.request import Request, RequestOutcome
+
+__all__ = [
+    "QueuedRequestLike",
+    "FrequencyPlanLike",
+    "BootCostModel",
+    "InstanceLike",
+    "ClusterLike",
+    "InstanceAllocation",
+    "ShardingPlan",
+    "ShardLayout",
+    "ReshardPlan",
+]
+
+
+@runtime_checkable
+class QueuedRequestLike(Protocol):
+    """A request parked inside an instance (waiting or running).
+
+    The managers move these between instances opaquely; the only member
+    they read is the underlying workload request (to re-route it).
+    """
+
+    @property
+    def request(self) -> Request: ...
+
+
+@runtime_checkable
+class FrequencyPlanLike(Protocol):
+    """The DVFS state of one instance, as the controllers see it."""
+
+    @property
+    def current_frequency_mhz(self) -> int: ...
+
+    @property
+    def gpu(self) -> GPUSpec: ...
+
+
+@runtime_checkable
+class BootCostModel(Protocol):
+    """Server provisioning costs (paper Table V).
+
+    ``proactive`` distinguishes DynamoLLM's ahead-of-epoch warm boots
+    from the baselines' critical-path cold boots.
+    """
+
+    @property
+    def proactive(self) -> bool: ...
+
+    def boot_time_s(self, proactive: bool) -> float: ...
+
+
+@runtime_checkable
+class InstanceLike(Protocol):
+    """One tensor-parallel inference instance, as the controllers see it.
+
+    Covers request intake (``enqueue``/``adopt``/``steal_waiting``/
+    ``squash_stale``), DVFS (``frequency``/``set_frequency``) and the
+    introspection the routing and emergency-handling logic needs.
+    """
+
+    @property
+    def instance_id(self) -> str: ...
+
+    @property
+    def tensor_parallelism(self) -> int: ...
+
+    @property
+    def accepting(self) -> bool: ...
+
+    @property
+    def gpu_count(self) -> int: ...
+
+    @property
+    def queue_length(self) -> int: ...
+
+    @property
+    def load_estimate_tps(self) -> float: ...
+
+    @property
+    def frequency(self) -> FrequencyPlanLike: ...
+
+    def is_offline(self, now: float) -> bool: ...
+
+    def oldest_wait_s(self, now: float) -> float: ...
+
+    def enqueue(self, request: Request, now: float) -> object: ...
+
+    def set_frequency(self, frequency_mhz: int, now: float = 0.0) -> bool: ...
+
+    def adopt(self, states: Sequence[Any], now: float) -> None: ...
+
+    def steal_waiting(self, count: int) -> Sequence[QueuedRequestLike]: ...
+
+    def squash_stale(
+        self, now: float, wait_threshold_s: float
+    ) -> Sequence[RequestOutcome]: ...
+
+    def reorder_queue_by_deadline(
+        self, slo_lookup: Callable[[Request], float]
+    ) -> None: ...
+
+
+@runtime_checkable
+class ClusterLike(Protocol):
+    """The GPU fleet, as the controllers see it.
+
+    Instance lifecycle (create / remove / reshard), server scaling with
+    provisioning delays, and the read-only views the managers route and
+    size against.
+    """
+
+    @property
+    def max_servers(self) -> int: ...
+
+    @property
+    def optimized_frequency_switching(self) -> bool: ...
+
+    @property
+    def server_spec(self) -> ServerSpec: ...
+
+    @property
+    def provisioner(self) -> BootCostModel: ...
+
+    @property
+    def instances(self) -> Mapping[str, InstanceLike]: ...
+
+    def scale_to(self, target_servers: int, now: float) -> int: ...
+
+    def collect_provisioned(self, now: float) -> int: ...
+
+    def create_instance(
+        self,
+        tensor_parallelism: int,
+        pool: str = ...,
+        request_type: str = ...,
+    ) -> Optional[InstanceLike]: ...
+
+    def remove_instance(self, instance_id: str) -> Sequence[QueuedRequestLike]: ...
+
+    def reshard_instance(
+        self,
+        instance_id: str,
+        new_tensor_parallelism: int,
+        now: float,
+        transfer_time_s: float,
+        sync_time_s: float,
+        requires_downtime: bool,
+    ) -> bool: ...
+
+    def instances_in_pool(self, pool: str) -> Sequence[InstanceLike]: ...

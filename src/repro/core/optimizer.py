@@ -208,7 +208,7 @@ def plan_global(
 
     best: Optional[ShardingPlan] = None
 
-    def iterate_counts(index: int, remaining_gpus: int, counts: List[int]):
+    def iterate_counts(index: int, remaining_gpus: int, counts: List[int]) -> None:
         nonlocal best
         if index == len(tps):
             if all(count == 0 for count in counts):

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.cluster.frequency import (
+from repro.core.hw import (
     DEFAULT_SWITCH_OVERHEAD_S,
     OPTIMIZED_SWITCH_OVERHEAD_S,
+    cold_boot_time_s,
+    warm_boot_time_s,
 )
-from repro.cluster.vm import cold_boot_time_s, warm_boot_time_s
 from repro.core.resharding import (
     requires_downtime,
     reshard_time_units,

@@ -17,8 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.cluster.cluster import GPUCluster
-from repro.cluster.instance import InferenceInstance
+from repro.core.interfaces import ClusterLike, InstanceLike
 from repro.core.optimizer import ShardingPlan, plan_sharding
 from repro.core.overheads import OverheadModel
 from repro.core.pools import PoolState
@@ -33,7 +32,7 @@ class PoolManager:
 
     pool: PoolState
     profile: EnergyPerformanceProfile
-    cluster: GPUCluster
+    cluster: ClusterLike
     overheads: OverheadModel
     events: EventLog = field(default_factory=EventLog)
     scale_sharding: bool = True
@@ -53,8 +52,8 @@ class PoolManager:
     def name(self) -> str:
         return self.pool.name
 
-    def instances(self) -> List[InferenceInstance]:
-        return self.cluster.instances_in_pool(self.pool.name)
+    def instances(self) -> List[InstanceLike]:
+        return list(self.cluster.instances_in_pool(self.pool.name))
 
     def gpus_in_use(self) -> int:
         return sum(instance.gpu_count for instance in self.instances())
@@ -72,7 +71,7 @@ class PoolManager:
                 return False
         return True
 
-    def _instance_capacity(self, instance: InferenceInstance) -> float:
+    def _instance_capacity(self, instance: InstanceLike) -> float:
         try:
             return self.profile.max_load(
                 self.pool.governing_type,
@@ -85,7 +84,7 @@ class PoolManager:
     # ------------------------------------------------------------------
     # Request routing within the pool
     # ------------------------------------------------------------------
-    def select_instance(self, request: Request, now: float) -> Optional[InferenceInstance]:
+    def select_instance(self, request: Request, now: float) -> Optional[InstanceLike]:
         """Pick the instance that minimises the energy of adding the request.
 
         Following Section IV-D, the manager estimates the energy of every
@@ -100,7 +99,7 @@ class PoolManager:
             # let the cluster manager fall through to the next larger pool
             # rather than parking requests behind an offline instance.
             return None
-        best: Optional[InferenceInstance] = None
+        best: Optional[InstanceLike] = None
         best_cost = float("inf")
         added_load = request.input_tokens / max(1.0, self.shard_epoch_s) * 30.0
         for instance in candidates:
@@ -270,7 +269,7 @@ class PoolManager:
         # Step 1: reshard existing instances towards the desired TPs.
         desired_tps = [tp for tp, _f in desired]
         reusable = list(current)
-        matched: List[InferenceInstance] = []
+        matched: List[InstanceLike] = []
         for tp in list(desired_tps):
             for instance in reusable:
                 if instance.tensor_parallelism == tp:
@@ -308,7 +307,7 @@ class PoolManager:
 
         return {"created": created, "removed": removed, "resharded": resharded}
 
-    def _create_instance(self, tp: int, now: float) -> Optional[InferenceInstance]:
+    def _create_instance(self, tp: int, now: float) -> Optional[InstanceLike]:
         instance = self.cluster.create_instance(
             tensor_parallelism=tp,
             pool=self.pool.name,
@@ -316,14 +315,14 @@ class PoolManager:
         )
         return instance
 
-    def _remove_instance(self, instance: InferenceInstance, now: float) -> None:
+    def _remove_instance(self, instance: InstanceLike, now: float) -> None:
         leftovers = self.cluster.remove_instance(instance.instance_id)
         if leftovers:
             target = self.select_instance(leftovers[0].request, now)
             if target is not None:
                 target.adopt(leftovers, now)
 
-    def _reshard_instance(self, instance: InferenceInstance, new_tp: int, now: float) -> bool:
+    def _reshard_instance(self, instance: InstanceLike, new_tp: int, now: float) -> bool:
         transfer = self.overheads.reshard_transfer_time_s(
             instance.tensor_parallelism, new_tp
         )

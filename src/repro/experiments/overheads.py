@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.cluster.frequency import (
+from repro.core.hw import (
+    COLD_BOOT_BREAKDOWN_S,
     DEFAULT_SWITCH_OVERHEAD_S,
     OPTIMIZED_SWITCH_OVERHEAD_S,
+    WARM_BOOT_BREAKDOWN_S,
+    cold_boot_time_s,
 )
-from repro.cluster.vm import COLD_BOOT_BREAKDOWN_S, WARM_BOOT_BREAKDOWN_S, cold_boot_time_s
 from repro.core.resharding import overhead_matrix, shard_transfer_unit_s
 from repro.llm.catalog import ModelSpec, LLAMA2_70B
 from repro.perf.config import InstanceConfig

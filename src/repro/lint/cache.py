@@ -33,8 +33,10 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
-#: Bump on any change to the on-disk cache layout.
-CACHE_FORMAT_VERSION = "repro-lint-cache-v1"
+#: Bump on any change to the on-disk cache layout.  v2: ``ModuleFacts``
+#: gained the ``classes`` field (ARC004) — cached v1 facts would
+#: deserialize with it empty and silently under-report constructions.
+CACHE_FORMAT_VERSION = "repro-lint-cache-v2"
 
 
 def content_hash(source: str) -> str:

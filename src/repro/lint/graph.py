@@ -48,8 +48,8 @@ from repro.lint.sinks import LEGACY_NP_RANDOM, WALL_CLOCK_CALLS
 
 #: Bump when the facts schema or any graph-consuming rule changes
 #: behaviour: it flows into the facts hash, so a bump invalidates every
-#: cached finding at once.
-GRAPH_SCHEMA_VERSION = "repro-lint-graph-v1"
+#: cached finding at once.  v2: per-module ``classes`` facts (ARC004).
+GRAPH_SCHEMA_VERSION = "repro-lint-graph-v2"
 
 #: Declared architecture, lowest layer first.  A module may import
 #: sideways (same layer) or downward; importing upward is ARC001.
@@ -165,6 +165,10 @@ class ModuleFacts:
     calls: Tuple[CallSite, ...]
     suffixed_assigns: Tuple[SuffixedAssign, ...]
     frozen_classes: Tuple[str, ...]
+    #: Module-local qualnames of every class defined in the module
+    #: (``GPUFleet``, ``Outer.Inner``) — the construction targets ARC004
+    #: resolves calls against.
+    classes: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -228,6 +232,7 @@ def facts_from_dict(data: Dict[str, object]) -> ModuleFacts:
             for s in data["suffixed_assigns"]  # type: ignore[union-attr,index]
         ),
         frozen_classes=tuple(str(n) for n in data["frozen_classes"]),
+        classes=tuple(str(n) for n in data.get("classes", ())),
     )
 
 
@@ -345,6 +350,7 @@ def extract_module_facts(path: str, tree: ast.AST) -> ModuleFacts:
     imports: List[ImportEdge] = []
     functions: List[FunctionSig] = []
     frozen: List[str] = []
+    classes: List[str] = []
 
     # Pass A: imports, function/method signatures, frozen classes.
     # ``depth`` tracks nesting inside function/class bodies so import
@@ -433,6 +439,7 @@ def extract_module_facts(path: str, tree: ast.AST) -> ModuleFacts:
             elif isinstance(child, ast.ClassDef):
                 if _has_frozen_decorator(child):
                     frozen.append(child.name)
+                classes.append(".".join((*class_stack, child.name)))
                 collect(child, (*class_stack, child.name), top=False)
             else:
                 collect(
@@ -598,6 +605,7 @@ def extract_module_facts(path: str, tree: ast.AST) -> ModuleFacts:
         calls=tuple(calls),
         suffixed_assigns=tuple(assigns),
         frozen_classes=tuple(sorted(frozen)),
+        classes=tuple(sorted(classes)),
     )
 
 
@@ -653,6 +661,10 @@ class ProjectGraph:
         for name, record in self.modules.items():
             for sig in record.functions:
                 self._signatures[f"{name}:{sig.qualname}"] = sig
+        #: per-module class-qualname sets — ARC004's construction targets.
+        self._classes: Dict[str, Set[str]] = {
+            name: set(record.classes) for name, record in self.modules.items()
+        }
         self.tainted: Dict[str, TaintInfo] = {}
         self.cycles: Dict[str, Tuple[str, ...]] = {}
         self._propagate_taint()
@@ -677,6 +689,31 @@ class ProjectGraph:
             qual = table.get(member)
             if qual is not None:
                 return f"{module}:{qual}"
+        return None
+
+    def resolve_class(self, call: CallSite) -> Optional[Tuple[str, str]]:
+        """``(module, class_qualname)`` when a project call constructs a
+        class defined in the project, ``None`` otherwise.
+
+        Uses the same member-path re-splitting as :meth:`resolve`:
+        ``cluster.accounting`` + ``GPUFleet`` resolves directly, while
+        ``cluster`` + ``accounting.GPUFleet`` (a module-attribute call)
+        re-splits against the known module set.
+        """
+        if call.kind != "project":
+            return None
+        candidates: List[Tuple[str, str]] = [(call.module, call.member)]
+        parts = call.member.split(".")
+        for cut in range(1, len(parts)):
+            prefix = ".".join(parts[:cut])
+            module = f"{call.module}.{prefix}" if call.module else prefix
+            candidates.append((module, ".".join(parts[cut:])))
+        for module, member in candidates:
+            table = self._classes.get(module)
+            if table is None or not member:
+                continue
+            if member in table:
+                return module, member
         return None
 
     def signature(self, qualname: str) -> Optional[FunctionSig]:
@@ -778,6 +815,11 @@ class ProjectGraph:
             "cycles": {
                 module: list(members)
                 for module, members in sorted(self.cycles.items())
+            },
+            "classes": {
+                module: sorted(names)
+                for module, names in sorted(self._classes.items())
+                if names
             },
             "modules": sorted(self.modules),
         }

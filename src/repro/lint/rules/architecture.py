@@ -26,6 +26,14 @@ tentpoles would otherwise accrete silently.
   ``_private`` module from a *different* top-level package.  Underscore
   names are a package's internal surface; reaching across packages for
   one bypasses the public API that the layer contract is about.
+* ``ARC004`` — upward construction: a module *instantiates* a concrete
+  class defined in a higher layer.  A deferred function-level import
+  keeps ARC001 honest about the dependency, but actually calling the
+  class constructor is worse than referencing it: the lower layer now
+  hard-codes which implementation exists.  Lower layers must *receive*
+  such objects (dependency injection at the composition roots), never
+  build them.  Resolved through the whole-program call graph, so
+  aliased and deferred imports are seen too.
 
 Only modules inside the layered packages are checked: tests,
 benchmarks, examples and the top-level orchestrators (``__main__``,
@@ -37,7 +45,13 @@ from __future__ import annotations
 from typing import Iterator, Set, Tuple
 
 from repro.lint.engine import FileContext, Finding, Rule
-from repro.lint.graph import LAYER_NAMES, ImportEdge, layer_of
+from repro.lint.graph import (
+    LAYER_NAMES,
+    CallSite,
+    ImportEdge,
+    ProjectGraph,
+    layer_of,
+)
 
 
 def _is_private_name(name: str) -> bool:
@@ -58,8 +72,9 @@ class ArchitectureRule(Rule):
     invariant = (
         "imports point downward or sideways in the declared layer order "
         "(sim/llm/core/workload/perf -> metrics/policies/cluster -> "
-        "api/experiments -> lint), never form cycles, and never reach "
-        "another package's _private names"
+        "api/experiments -> lint), never form cycles, never reach "
+        "another package's _private names, and never construct classes "
+        "from a higher layer"
     )
     catalog = {
         "ARC001": (
@@ -73,6 +88,11 @@ class ArchitectureRule(Rule):
         "ARC003": (
             "cross-package reach into a _private name or _private "
             "module — underscore names are internal to their package"
+        ),
+        "ARC004": (
+            "upward construction: a module constructs a concrete class "
+            "from a higher layer (even via a deferred import) — lower "
+            "layers receive such objects, they never build them"
         ),
     }
 
@@ -116,6 +136,37 @@ class ArchitectureRule(Rule):
                     ),
                 )
             yield from self._check_privacy(ctx, facts.package, target_package, edge)
+        for call in facts.calls:
+            yield from self._check_construction(ctx, facts.package, layer, graph, call)
+
+    def _check_construction(
+        self,
+        ctx: FileContext,
+        package: str,
+        layer: int,
+        graph: ProjectGraph,
+        call: CallSite,
+    ) -> Iterator[Finding]:
+        resolved = graph.resolve_class(call)
+        if resolved is None:
+            return
+        target_module, class_name = resolved
+        target_layer = layer_of(target_module.split(".")[0])
+        if target_layer is None or target_layer <= layer:
+            return
+        yield Finding(
+            path=ctx.path,
+            line=call.line,
+            col=call.col,
+            rule="ARC004",
+            message=(
+                f"upward construction: '{package}' ({LAYER_NAMES[layer]} "
+                f"layer) constructs '{target_module}.{class_name}' "
+                f"({LAYER_NAMES[target_layer]} layer); lower layers must "
+                "receive such objects through injection at a composition "
+                "root, never build them"
+            ),
+        )
 
     def _check_upward(
         self,

@@ -1,0 +1,10 @@
+"""Accounting-layer class for the ARC004 fixture.
+
+Defines a concrete class that foundation-layer code must not build
+itself — see ``repro/core/arc_construct.py``.
+"""
+
+
+class GPUFleet:
+    def __init__(self) -> None:
+        self.servers = 0

@@ -1,0 +1,12 @@
+"""Deliberate violation: foundation-layer code constructing accounting.
+
+``core`` (foundation) instantiating a ``cluster`` (accounting) class
+hard-codes which implementation exists — ARC004.  The deferred import
+that enables it is an upward dependency too — ARC001.
+"""
+
+
+def build_fleet():
+    from repro.cluster.accounting import GPUFleet
+
+    return GPUFleet()

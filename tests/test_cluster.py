@@ -3,14 +3,16 @@
 import pytest
 
 from repro.cluster.cluster import GPUCluster
-from repro.cluster.frequency import (
-    DEFAULT_SWITCH_OVERHEAD_S,
-    OPTIMIZED_SWITCH_OVERHEAD_S,
-    FrequencyController,
-)
+from repro.cluster.frequency import FrequencyController
 from repro.cluster.instance import InferenceInstance
 from repro.cluster.server import Server
-from repro.cluster.vm import VMProvisioner, cold_boot_time_s, warm_boot_time_s
+from repro.cluster.vm import VMProvisioner
+from repro.core.hw import (
+    DEFAULT_SWITCH_OVERHEAD_S,
+    OPTIMIZED_SWITCH_OVERHEAD_S,
+    cold_boot_time_s,
+    warm_boot_time_s,
+)
 from repro.llm.catalog import LLAMA2_70B
 from repro.workload.request import Request
 

@@ -121,15 +121,31 @@ class TestFactsExtraction:
         assert call.sink == "time.time()"
         assert call.caller == "f"
 
+    def test_class_definitions_recorded(self):
+        facts = facts_for(
+            "repro/cluster/x.py",
+            "class Fleet:\n"
+            "    class Inner:\n"
+            "        pass\n"
+            "def f():\n"
+            "    class Local:\n"
+            "        pass\n"
+            "    return Local\n",
+        )
+        assert facts.classes == ("Fleet", "Fleet.Inner", "Local")
+
     def test_facts_round_trip_through_dict(self):
         facts = facts_for(
             "repro/sim/x.py",
             "import time\n"
             "from repro.sim.clock import Clock\n"
+            "class Engine:\n"
+            "    pass\n"
             "def f(a_s, b_kw):\n"
             "    total_wh = g_kwh()\n"
             "    return time.time()\n",
         )
+        assert facts.classes == ("Engine",)
         assert facts_from_dict(facts.to_dict()) == facts
 
 

@@ -1,0 +1,52 @@
+"""Static protocol conformance, checked by mypy — never executed.
+
+Each function is an assignment-compatibility assertion: mypy verifies
+that the concrete ``repro.cluster`` class on the parameter side is
+structurally assignable to the ``repro.core.interfaces`` protocol on
+the return side.  A signature drift on either side (a renamed method, a
+narrowed argument, a widened return) turns into a mypy error here long
+before a simulation would hit it.
+
+``tests/test_interfaces.py::TestStaticConformance`` runs mypy over this
+module (skipped locally when mypy is not installed; CI always has it).
+The runtime half of the contract — ``isinstance`` via
+``@runtime_checkable`` — lives in the same test file.
+"""
+
+from repro.cluster.cluster import GPUCluster
+from repro.cluster.frequency import FrequencyController
+from repro.cluster.instance import InferenceInstance, RequestState
+from repro.cluster.vm import VMProvisioner
+from repro.core.interfaces import (
+    BootCostModel,
+    ClusterLike,
+    FrequencyPlanLike,
+    InstanceLike,
+    QueuedRequestLike,
+)
+
+
+def cluster_satisfies_cluster_like(cluster: GPUCluster) -> ClusterLike:
+    return cluster
+
+
+def instance_satisfies_instance_like(instance: InferenceInstance) -> InstanceLike:
+    return instance
+
+
+def controller_satisfies_frequency_plan_like(
+    controller: FrequencyController,
+) -> FrequencyPlanLike:
+    return controller
+
+
+def provisioner_satisfies_boot_cost_model(
+    provisioner: VMProvisioner,
+) -> BootCostModel:
+    return provisioner
+
+
+def request_state_satisfies_queued_request_like(
+    state: RequestState,
+) -> QueuedRequestLike:
+    return state
