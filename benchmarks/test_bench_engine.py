@@ -9,7 +9,15 @@ to the full/serial runs.
 
 from __future__ import annotations
 
+import json
+import os
 import pickle
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
 
 from repro.api.executor import run_grid, run_scenario, runs
 
@@ -90,3 +98,86 @@ def test_sweep_parallel(benchmark, bench_grid):
     assert {k: s.energy_kwh for k, s in results.items()} == {
         k: s.energy_kwh for k, s in serial.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Performance trajectory: the event-engine campaign wall-clock is pinned
+# in BENCH_event_engine.json at the repository root.
+# ----------------------------------------------------------------------
+BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_event_engine.json"
+
+
+def _host_fingerprint():
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+    }
+
+
+def _same_host_class(recorded, current):
+    return (recorded.get("machine"), recorded.get("cpu_count")) == (
+        current.get("machine"),
+        current.get("cpu_count"),
+    )
+
+
+def test_event_engine_campaign_trajectory(tmp_path):
+    """Run the bundled event-backend sensitivity campaign and pin its speed.
+
+    The 72-scenario ``accuracy_slo_wide`` campaign is the workload the
+    vectorized engine hot path was built for.  Every run measures the
+    serial wall-clock; with ``REPRO_BENCH_RECORD=1`` (the CI bench leg
+    sets it) the measurement is appended to ``BENCH_event_engine.json``
+    so the performance trajectory accumulates alongside the code.  A run
+    slower than ``regression_threshold`` x the best recorded run on a
+    matching host class (machine + cpu_count) fails; hosts with no
+    recorded baseline only record.
+    """
+    from repro.api import read_jsonl
+    from repro.experiments.manifests import run_bundled_campaign
+
+    out = tmp_path / "campaign.jsonl"
+    start = time.perf_counter()
+    run_bundled_campaign("accuracy_slo_wide", out=str(out), workers=1)
+    elapsed = time.perf_counter() - start
+
+    # The manifest may shard its results file; collect every shard.
+    records = [
+        record
+        for path in sorted(tmp_path.glob("campaign*.jsonl"))
+        for record in read_jsonl(str(path))
+    ]
+    assert len(records) == 72, len(records)
+    assert all(r["error"] is None for r in records)
+    requests = sum(int(r["requests"]) for r in records)
+    assert requests > 0
+
+    data = json.loads(BENCH_FILE.read_text())
+    host = _host_fingerprint()
+    baseline = [r for r in data["runs"] if _same_host_class(r["host"], host)]
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "elapsed_s": round(elapsed, 3),
+        "scenarios": len(records),
+        "requests": requests,
+        "requests_per_s": round(requests / elapsed, 1),
+        "workers": 1,
+        "host": host,
+    }
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        data["runs"].append(entry)
+        BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+    if not baseline:
+        pytest.skip(
+            f"no recorded baseline for host class {host['machine']}/"
+            f"{host['cpu_count']}cpu; measured {elapsed:.2f}s"
+        )
+    best = min(r["elapsed_s"] for r in baseline)
+    threshold = data.get("regression_threshold", 1.2)
+    assert elapsed <= best * threshold, (
+        f"event-engine campaign regressed: {elapsed:.2f}s vs best recorded "
+        f"{best:.2f}s on this host class ({threshold}x threshold)"
+    )

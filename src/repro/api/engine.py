@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.api.observers import (
     EpochReconfigured,
     Observer,
@@ -37,6 +39,7 @@ from repro.metrics.latency import LatencyStats
 from repro.metrics.power import PowerTimeSeries
 from repro.metrics.summary import RunSummary
 from repro.policies.base import PolicySpec, build_policy
+from repro.sim.clock import SimClock
 from repro.workload.predictor import OutputLengthPredictor
 from repro.workload.traces import Trace
 
@@ -57,9 +60,18 @@ class SimulationEngine(ObserverDispatch):
         (energy, latency, power, server counts, and — unless ``lean`` —
         the frequency/sharding timelines).
     lean:
-        When ``True`` and ``observers`` is ``None``, attach only the
-        summary observers.  Large sweeps that never look at timelines
-        run measurably faster this way.
+        When ``True``, attach only the summary observers (if
+        ``observers`` is ``None``) and disable per-step history
+        retention on the cluster and its instances, so memory stays
+        bounded regardless of horizon.  Large sweeps that never look at
+        timelines run measurably faster this way.
+    vectorized:
+        When ``True`` (the default) the per-step admission slice comes
+        from a ``numpy.searchsorted`` over the trace's arrival-time
+        column instead of a per-request Python walk.  The engine falls
+        back to the scalar walk automatically when the trace's arrivals
+        are not sorted; both paths route exactly the same requests at
+        exactly the same step.
     load_fractions / warm_loads:
         Optional precomputed capacity-planning inputs (the executor
         caches them per trace x scheme so grid members sharing a trace
@@ -76,6 +88,7 @@ class SimulationEngine(ObserverDispatch):
         lean: bool = False,
         load_fractions=None,
         warm_loads=None,
+        vectorized: bool = True,
     ) -> None:
         from repro.experiments.runner import ExperimentConfig, resolve_static_servers
 
@@ -94,6 +107,7 @@ class SimulationEngine(ObserverDispatch):
             max_servers=max_servers,
             proactive_provisioning=spec.proactive_provisioning,
             optimized_frequency_switching=spec.optimized_frequency_switching,
+            record_history=not lean,
         )
         predictor = OutputLengthPredictor(
             accuracy=self.config.predictor_accuracy, seed=self.config.predictor_seed
@@ -126,12 +140,24 @@ class SimulationEngine(ObserverDispatch):
             observers = default_observers(slo_policy=self.config.slo_policy, lean=lean)
         self.observers: List[Observer] = list(observers)
 
-        # Stepping state.
+        # Stepping state.  Time is derived from an integer step counter
+        # (``step * dt`` via SimClock) rather than repeated float
+        # addition, so long horizons cannot accumulate rounding drift
+        # that mis-bins boundary arrivals.
         self._requests = list(trace.requests)
         self._request_index = 0
         self._dt = self.config.time_step_s
+        self._clock = SimClock(time_step=self._dt)
         self._horizon = trace.duration + self._dt
         self._drain_deadline = self._horizon + self.config.drain_timeout_s
+        # Arrival-time column for the vectorized admission slice.  The
+        # scalar walk remains as a fallback for unsorted request lists
+        # (Trace sorts on construction, but the engine does not assume).
+        self._arrivals = np.array(
+            [request.arrival_time for request in self._requests], dtype=float
+        )
+        sorted_arrivals = bool(np.all(np.diff(self._arrivals) >= 0.0))
+        self._vectorized = vectorized and sorted_arrivals
         self.now = 0.0
         self.reconfigurations = 0
         self._started = False
@@ -140,6 +166,7 @@ class SimulationEngine(ObserverDispatch):
         self._epoch_listeners: List[Observer] = []
         self._route_listeners: List[Observer] = []
         self._step_listeners: List[Observer] = []
+        self._full_stats = True
 
     # ------------------------------------------------------------------
     # Observer plumbing (dispatch machinery shared via ObserverDispatch)
@@ -160,6 +187,12 @@ class SimulationEngine(ObserverDispatch):
         self._epoch_listeners = self._listeners("on_epoch_reconfigured")
         self._route_listeners = self._listeners("on_request_routed")
         self._step_listeners = self._listeners("on_step_completed")
+        # Lean fast path: when no attached step listener consumes the
+        # timeline fields (or nobody listens at all), the cluster skips
+        # the per-pool/per-TP stats bookkeeping every step.
+        self._full_stats = any(
+            observer.requires_full_step_stats for observer in self._step_listeners
+        )
         self.policy.setup(0.0, warm_loads=self._warm_loads)
         started_listeners = self._listeners("on_run_started")
         if started_listeners:
@@ -190,22 +223,44 @@ class SimulationEngine(ObserverDispatch):
             return False
 
         now, dt = self.now, self._dt
-        while (
-            self._request_index < len(self._requests)
-            and self._requests[self._request_index].arrival_time < now + dt
-        ):
-            request = self._requests[self._request_index]
-            self.policy.route(request, now)
+        # The admission boundary is the *next* step's clock time, so
+        # every request falls into exactly one step no matter how long
+        # the horizon is (boundaries are computed as k*dt, not
+        # accumulated additions).
+        boundary = self._clock.time_of_step(self._clock.step + 1)
+        if self._vectorized:
+            end = int(np.searchsorted(self._arrivals, boundary, side="left"))
+            route = self.policy.route
             if self._route_listeners:
-                self._emit(
-                    self._route_listeners,
-                    "on_request_routed",
-                    RequestRouted(time=now, request=request),
-                )
-            self._request_index += 1
+                for index in range(self._request_index, end):
+                    request = self._requests[index]
+                    route(request, now)
+                    self._emit(
+                        self._route_listeners,
+                        "on_request_routed",
+                        RequestRouted(time=now, request=request),
+                    )
+            else:
+                for index in range(self._request_index, end):
+                    route(self._requests[index], now)
+            self._request_index = end
+        else:
+            while (
+                self._request_index < len(self._requests)
+                and self._requests[self._request_index].arrival_time < boundary
+            ):
+                request = self._requests[self._request_index]
+                self.policy.route(request, now)
+                if self._route_listeners:
+                    self._emit(
+                        self._route_listeners,
+                        "on_request_routed",
+                        RequestRouted(time=now, request=request),
+                    )
+                self._request_index += 1
 
         self.policy.on_step(now, dt)
-        stats = self.cluster.step(now, dt)
+        stats = self.cluster.step(now, dt, full_stats=self._full_stats)
         if self._step_listeners:
             self._emit(
                 self._step_listeners,
@@ -213,7 +268,7 @@ class SimulationEngine(ObserverDispatch):
                 StepCompleted(time=now, dt=dt, stats=stats, policy=self.policy),
             )
 
-        self.now = now + dt
+        self.now = self._clock.advance()
         if self.now >= self._horizon and self._request_index >= len(self._requests):
             in_flight = sum(i.active_requests for i in self.cluster.instances.values())
             if in_flight == 0:

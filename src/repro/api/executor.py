@@ -19,6 +19,13 @@ Two parallel modes:
   multi-core machines; scenarios and summaries must pickle (they do for
   everything in-tree) and each worker pays a fork/spawn cost, so prefer
   it when individual scenarios run for seconds, not milliseconds.
+  Event-backend traces are not pickled per job: the executor encodes
+  each shared trace once into numpy columns in POSIX shared memory
+  (:mod:`multiprocessing.shared_memory`) and ships only the segment
+  name; every worker rehydrates the trace once per process from the
+  segment, however many grid members reuse it.  Rehydrated requests
+  are field-identical to the originals (ids, services and SLO scales
+  included), so results stay identical across modes.
 
 Passing ``sink=`` (a :class:`~repro.api.sinks.ResultSink`) switches the
 executors to *streaming* mode: each summary is handed to the sink as it
@@ -61,7 +68,10 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     as_completed,
 )
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.api.engine import SimulationEngine
 from repro.api.fluid_engine import FluidEngine
@@ -69,6 +79,7 @@ from repro.api.scenario import Scenario, ScenarioGrid
 from repro.api.sinks import ResultsMismatchError, ResultSink
 from repro.metrics.summary import RunSummary
 from repro.policies.base import PolicySpec
+from repro.workload.request import Request
 from repro.workload.traces import BinnedTrace, Trace
 
 
@@ -128,7 +139,10 @@ class _Job:
 
     Event-backend jobs carry the built request-level trace plus the
     cached capacity-planning maps; fluid-backend jobs carry the binned
-    trace and the cached per-bucket static budgets.
+    trace and the cached per-bucket static budgets.  On process pools
+    the trace travels as a :class:`_SharedTrace` handle instead
+    (``trace`` is then ``None``) and workers rehydrate it from shared
+    memory.
     """
 
     scenario: Scenario
@@ -139,6 +153,155 @@ class _Job:
     bins: Optional[list] = None
     trace_name: Optional[str] = None
     fine_budgets: Optional[dict] = None
+    shared_trace: Optional["_SharedTrace"] = None
+
+
+#: Column layout of a trace in shared memory.  ``service`` holds an index
+#: into the handle's unique-service table; everything else round-trips
+#: the Request fields exactly (float64/int64 are lossless for the values
+#: Request validation admits).
+_TRACE_DTYPE = np.dtype(
+    [
+        ("arrival_time", np.float64),
+        ("input_tokens", np.int64),
+        ("output_tokens", np.int64),
+        ("request_id", np.int64),
+        ("service", np.int32),
+        ("slo_scale", np.float64),
+    ]
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _SharedTrace:
+    """Pickle-cheap handle to a trace encoded in a shared-memory segment.
+
+    The handle carries only the segment name, the row count, the trace
+    name and the unique service strings — a few hundred bytes — while
+    the request columns live in the named segment.  The parent process
+    owns the segment (see :class:`_SharedTraceArena`); workers attach,
+    copy, and close.
+    """
+
+    shm_name: str
+    count: int
+    name: str
+    services: Tuple[str, ...]
+
+
+def _encode_trace(trace: Trace) -> Tuple["_SharedTrace", shared_memory.SharedMemory]:
+    """Write a trace's request columns into a new shared-memory segment."""
+    requests = trace.requests
+    services: Dict[str, int] = {}
+    array = np.empty(len(requests), dtype=_TRACE_DTYPE)
+    for row, request in enumerate(requests):
+        index = services.setdefault(request.service, len(services))
+        array[row] = (
+            request.arrival_time,
+            request.input_tokens,
+            request.output_tokens,
+            request.request_id,
+            index,
+            request.slo_scale,
+        )
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=_TRACE_DTYPE, buffer=segment.buf)
+    view[:] = array
+    handle = _SharedTrace(
+        shm_name=segment.name,
+        count=len(requests),
+        name=trace.name,
+        services=tuple(services),
+    )
+    return handle, segment
+
+
+#: Per-worker-process rehydration cache: segment name -> decoded Trace.
+#: Grid members sharing a trace decode it once per worker instead of
+#: unpickling a request list per job.  Jobs never run the cached
+#: requests directly (see _run_job's isolation copy), so the cache stays
+#: pristine across jobs.
+_WORKER_TRACES: Dict[str, Trace] = {}
+
+
+def _materialise_shared(shared: "_SharedTrace") -> Trace:
+    """Rebuild (or fetch the cached) Trace behind a shared-memory handle."""
+    cached = _WORKER_TRACES.get(shared.shm_name)
+    if cached is not None:
+        return cached
+    segment = shared_memory.SharedMemory(name=shared.shm_name)
+    try:
+        view = np.ndarray((shared.count,), dtype=_TRACE_DTYPE, buffer=segment.buf)
+        columns = view.copy()
+    finally:
+        segment.close()
+    # tolist() yields Python floats/ints bit-identical to the encoded
+    # values, so rehydrated requests compare equal field-for-field.
+    arrivals = columns["arrival_time"].tolist()
+    inputs = columns["input_tokens"].tolist()
+    outputs = columns["output_tokens"].tolist()
+    request_ids = columns["request_id"].tolist()
+    service_indices = columns["service"].tolist()
+    slo_scales = columns["slo_scale"].tolist()
+    services = shared.services
+    trace = Trace(
+        name=shared.name,
+        requests=[
+            Request(
+                arrival_time=arrivals[row],
+                input_tokens=inputs[row],
+                output_tokens=outputs[row],
+                request_id=request_ids[row],
+                service=services[service_indices[row]],
+                slo_scale=slo_scales[row],
+            )
+            for row in range(shared.count)
+        ],
+    )
+    _WORKER_TRACES[shared.shm_name] = trace
+    return trace
+
+
+class _SharedTraceArena:
+    """Owner of the shared-memory segments backing one pool's traces.
+
+    ``adopt`` rewrites an event-backend job to carry a
+    :class:`_SharedTrace` handle instead of its request list, encoding
+    each distinct trace exactly once however many jobs share it.
+    ``close`` unlinks every segment — call it only after the pool has
+    shut down, so no worker is still attaching.  If the platform cannot
+    provide shared memory the arena degrades gracefully: jobs keep
+    their picklable trace and run exactly as before.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._by_trace: Dict[int, "_SharedTrace"] = {}
+        self._disabled = False
+
+    def adopt(self, job: _Job) -> _Job:
+        if self._disabled or job.trace is None:
+            return job
+        handle = self._by_trace.get(id(job.trace))
+        if handle is None:
+            try:
+                handle, segment = _encode_trace(job.trace)
+            except OSError:
+                self._disabled = True
+                return job
+            self._segments.append(segment)
+            self._by_trace[id(job.trace)] = handle
+        return dataclasses.replace(job, trace=None, shared_trace=handle)
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._by_trace.clear()
 
 
 def run_scenario(
@@ -294,9 +457,16 @@ def _run_job(job: _Job, lean: bool, isolate: bool = False) -> RunSummary:
         summary = engine.run()
         return summary.compact() if lean else summary
     trace = job.trace
+    if trace is None and job.shared_trace is not None:
+        # Process-pool job: rehydrate from shared memory (cached per
+        # worker process) and isolate below — jobs in the same worker
+        # share the cached Request objects exactly like thread-parallel
+        # jobs share the parent's.
+        trace = _materialise_shared(job.shared_trace)
+        isolate = True
     if isolate:
-        # Thread-parallel runs share Request objects across engines, and
-        # the cluster manager writes `request.predicted_type`; give each
+        # Parallel runs share Request objects across engines, and the
+        # cluster manager writes `request.predicted_type`; give each
         # engine private copies so concurrent scenarios cannot race.
         trace = Trace(
             name=trace.name, requests=[copy.copy(r) for r in trace.requests]
@@ -329,10 +499,20 @@ def _pool_for(mode: str, workers: int):
 def _execute(jobs: List[_Job], workers: Optional[int], lean: bool, mode: str) -> List[RunSummary]:
     if not workers or workers <= 1:
         return [_run_job(job, lean) for job in jobs]
-    with _pool_for(mode, workers) as pool:
-        isolate = mode == "thread"
-        futures = [pool.submit(_run_job, job, lean, isolate) for job in jobs]
-        return [future.result() for future in futures]
+    arena: Optional[_SharedTraceArena] = None
+    if mode == "process":
+        arena = _SharedTraceArena()
+        jobs = [arena.adopt(job) for job in jobs]
+    try:
+        with _pool_for(mode, workers) as pool:
+            isolate = mode == "thread"
+            futures = [pool.submit(_run_job, job, lean, isolate) for job in jobs]
+            return [future.result() for future in futures]
+    finally:
+        # Unlink only after the pool context has joined its workers, so
+        # no worker is still attaching to a segment being removed.
+        if arena is not None:
+            arena.close()
 
 
 def _stream(
@@ -386,25 +566,37 @@ def _stream(
                 for key, job in zip(keys, jobs):
                     _consume(key, lambda: _run_job(job, lean))
             else:
-                with _pool_for(mode, workers) as pool:
-                    isolate = mode == "thread"
-                    futures = {
-                        pool.submit(_run_job, job, lean, isolate): key
-                        for key, job in zip(keys, jobs)
-                    }
-                    # as_completed snapshots the future set up front, so
-                    # popping entries while iterating is safe — and
-                    # necessary: holding the dict until the loop ends
-                    # would keep every completed summary alive,
-                    # defeating the sink's memory bound.
-                    try:
-                        for future in as_completed(futures):
-                            key = futures.pop(future)
-                            _consume(key, future.result)
-                    except BaseException:
-                        for pending in futures:
-                            pending.cancel()
-                        raise
+                arena: Optional[_SharedTraceArena] = None
+                if mode == "process":
+                    arena = _SharedTraceArena()
+                    jobs = [arena.adopt(job) for job in jobs]
+                try:
+                    with _pool_for(mode, workers) as pool:
+                        isolate = mode == "thread"
+                        futures = {
+                            pool.submit(_run_job, job, lean, isolate): key
+                            for key, job in zip(keys, jobs)
+                        }
+                        # as_completed snapshots the future set up
+                        # front, so popping entries while iterating is
+                        # safe — and necessary: holding the dict until
+                        # the loop ends would keep every completed
+                        # summary alive, defeating the sink's memory
+                        # bound.
+                        try:
+                            for future in as_completed(futures):
+                                key = futures.pop(future)
+                                _consume(key, future.result)
+                        except BaseException:
+                            for pending in futures:
+                                pending.cancel()
+                            raise
+                finally:
+                    # The pool context has joined its workers by the
+                    # time this runs, so unlinking the segments here
+                    # cannot race a worker's attach.
+                    if arena is not None:
+                        arena.close()
         finally:
             sink.report = SweepReport(
                 total=len(jobs) + skipped, skipped=skipped, ran=ran, failed=failed

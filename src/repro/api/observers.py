@@ -45,7 +45,7 @@ from repro.metrics.power import PowerTimeSeries
 from repro.metrics.summary import RunSummary
 from repro.workload.classification import classify_request
 from repro.workload.request import Request
-from repro.workload.slo import SLOPolicy, DEFAULT_SLO_POLICY
+from repro.workload.slo import SLO, SLOPolicy, DEFAULT_SLO_POLICY
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +111,14 @@ class Observer:
     #: the rest (timeline collectors etc.) are dropped to speed up sweeps.
     summary_only: bool = False
 
+    #: Whether this observer's ``on_step_completed`` reads timeline fields
+    #: of the step stats (``gpus_by_tp``, ``pool_*``, ``active_gpus``,
+    #: ``average_frequency_mhz``).  When every attached step listener sets
+    #: this to ``False`` the engine asks the cluster for lean step stats,
+    #: which skip the per-pool/per-TP breakdown bookkeeping entirely.
+    #: ``True`` is the conservative default for third-party observers.
+    requires_full_step_stats: bool = True
+
     def on_run_started(self, event: RunStarted) -> None:  # pragma: no cover - hook
         pass
 
@@ -168,6 +176,7 @@ class EnergyObserver(Observer):
     """Accumulates the cluster's per-step energy into an EnergyAccount."""
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self) -> None:
         self.account = EnergyAccount()
@@ -183,6 +192,7 @@ class LatencyObserver(Observer):
     """Collects per-request outcomes into TTFT/TBT statistics."""
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self, slo_policy: SLOPolicy = DEFAULT_SLO_POLICY) -> None:
         self.stats = LatencyStats(slo_policy=slo_policy)
@@ -198,6 +208,7 @@ class PowerObserver(Observer):
     """Samples cluster power and online-GPU counts every step."""
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self) -> None:
         self.series = PowerTimeSeries()
@@ -213,6 +224,7 @@ class ServerCountObserver(Observer):
     """Tracks the online-server count to report the run average."""
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self) -> None:
         self.samples: List[int] = []
@@ -273,6 +285,7 @@ class CarbonObserver(Observer):
     """
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self, intensity: Optional[CarbonIntensityTrace] = None) -> None:
         self.account = CarbonAccount(intensity=intensity or CarbonIntensityTrace())
@@ -293,6 +306,7 @@ class CostObserver(Observer):
     """
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self, cost_model: Optional[CostModel] = None) -> None:
         self.account = CostAccount(cost_model=cost_model or CostModel())
@@ -314,22 +328,32 @@ class SLOAttainmentObserver(Observer):
     """
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self, slo_policy: SLOPolicy = DEFAULT_SLO_POLICY) -> None:
         self.slo_policy = slo_policy
         self.total_by_pool: Dict[str, int] = {}
         self.met_by_pool: Dict[str, int] = {}
+        # Scaled SLOs memoised per (type name, slo_scale) — SLO
+        # construction is pure, so the cached thresholds are the exact
+        # floats the per-outcome construction produced.
+        self._scaled_slos: Dict[Tuple[str, float], SLO] = {}
 
     def on_step_completed(self, event: StepCompleted) -> None:
+        scaled_slos = self._scaled_slos
         for outcome in event.stats.outcomes:
             pool = outcome.pool
             self.total_by_pool[pool] = self.total_by_pool.get(pool, 0) + 1
             if outcome.squashed:
                 continue
             request_type = classify_request(outcome.request)
-            slo = self.slo_policy.slo_for(request_type).scaled(
-                max(1.0, outcome.request.slo_scale)
-            )
+            key = (request_type.name, outcome.request.slo_scale)
+            slo = scaled_slos.get(key)
+            if slo is None:
+                slo = self.slo_policy.slo_for(request_type).scaled(
+                    max(1.0, outcome.request.slo_scale)
+                )
+                scaled_slos[key] = slo
             if outcome.meets(slo.ttft_s, slo.tbt_s):
                 self.met_by_pool[pool] = self.met_by_pool.get(pool, 0) + 1
 
@@ -357,6 +381,7 @@ class ReconfigurationObserver(Observer):
     """Counts controller epochs by kind — a cheap example of a custom hook."""
 
     summary_only = True
+    requires_full_step_stats = False
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {}

@@ -58,6 +58,7 @@ class GPUCluster:
         max_servers: int = 64,
         proactive_provisioning: bool = True,
         optimized_frequency_switching: bool = True,
+        record_history: bool = True,
     ) -> None:
         if initial_servers < 0 or max_servers <= 0:
             raise ValueError("server counts must be positive")
@@ -71,8 +72,16 @@ class GPUCluster:
         self.servers: Dict[str, Server] = {}
         self.instances: Dict[str, InferenceInstance] = {}
         self._instance_server: Dict[str, str] = {}
+        # Pool membership never changes after creation, so instances are
+        # indexed by pool up front — the controllers query pool rosters
+        # every step and a full scan shows up in profiles.
+        self._instances_by_pool: Dict[str, Dict[str, InferenceInstance]] = {}
         self.total_energy_wh = 0.0
         self.energy_by_type_wh: Dict[str, float] = {}
+        #: Whether per-step :class:`ClusterStepStats` are retained; lean
+        #: sweeps disable this (and history on new instances) so memory
+        #: stays bounded over long horizons.
+        self.record_history = record_history
         self.step_history: List[ClusterStepStats] = []
         self._gpu_seconds = 0.0
         for _ in range(initial_servers):
@@ -180,12 +189,14 @@ class GPUCluster:
             server=self.server_spec,
             frequency_mhz=frequency_mhz,
             optimized_frequency_switching=self.optimized_frequency_switching,
+            record_history=self.record_history,
         )
         if ready_at > 0:
             instance.mark_offline(ready_at)
         host.allocate(instance)
         self.instances[instance.instance_id] = instance
         self._instance_server[instance.instance_id] = host.server_id
+        self._instances_by_pool.setdefault(pool, {})[instance.instance_id] = instance
         return instance
 
     def _find_host(self, gpu_count: int, pool: str) -> Optional[Server]:
@@ -194,9 +205,8 @@ class GPUCluster:
         if not candidates:
             return None
         pool_instances = {
-            self._instance_server[i.instance_id]
-            for i in self.instances.values()
-            if i.pool == pool
+            self._instance_server[instance_id]
+            for instance_id in self._instances_by_pool.get(pool, ())
         }
         candidates.sort(
             key=lambda s: (s.server_id not in pool_instances, s.free_gpus)
@@ -208,6 +218,9 @@ class GPUCluster:
         instance = self.instances.pop(instance_id, None)
         if instance is None:
             return []
+        pool_index = self._instances_by_pool.get(instance.pool)
+        if pool_index is not None:
+            pool_index.pop(instance_id, None)
         server_id = self._instance_server.pop(instance_id, None)
         if server_id is not None:
             self.servers[server_id].release(instance_id)
@@ -242,13 +255,24 @@ class GPUCluster:
         return True
 
     def instances_in_pool(self, pool: str) -> List[InferenceInstance]:
-        return [i for i in self.instances.values() if i.pool == pool]
+        pool_index = self._instances_by_pool.get(pool)
+        if not pool_index:
+            return []
+        return list(pool_index.values())
 
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
-    def step(self, now: float, dt: float) -> ClusterStepStats:
-        """Advance every instance and account cluster power and energy."""
+    def step(self, now: float, dt: float, *, full_stats: bool = True) -> ClusterStepStats:
+        """Advance every instance and account cluster power and energy.
+
+        With ``full_stats=False`` (the engine's lean fast path, taken
+        when no attached observer consumes timeline fields) the per-pool
+        and per-TP breakdowns are skipped entirely: the returned stats
+        carry the exact same scalar totals, ``energy_by_type_wh`` and
+        ``outcomes``, but empty maps and zero ``active_gpus`` /
+        ``average_frequency_mhz``.
+        """
         self.collect_provisioned(now)
         power = 0.0
         energy_by_type: Dict[str, float] = {}
@@ -263,23 +287,29 @@ class GPUCluster:
         for instance in self.instances.values():
             stats = instance.step(now, dt)
             power += stats.power_watts
-            active_gpus += instance.gpu_count
-            frequency_weighted += stats.frequency_mhz * instance.gpu_count
-            gpus_by_tp[instance.tensor_parallelism] = (
-                gpus_by_tp.get(instance.tensor_parallelism, 0) + instance.gpu_count
-            )
-            pool_power[instance.pool] = pool_power.get(instance.pool, 0.0) + stats.power_watts
-            pool_gpus.setdefault(instance.pool, {})
-            pool_gpus[instance.pool][instance.tensor_parallelism] = (
-                pool_gpus[instance.pool].get(instance.tensor_parallelism, 0)
-                + instance.gpu_count
-            )
-            pool_freq_acc.setdefault(instance.pool, []).append(float(stats.frequency_mhz))
+            if full_stats:
+                active_gpus += instance.gpu_count
+                frequency_weighted += stats.frequency_mhz * instance.gpu_count
+                gpus_by_tp[instance.tensor_parallelism] = (
+                    gpus_by_tp.get(instance.tensor_parallelism, 0) + instance.gpu_count
+                )
+                pool_power[instance.pool] = (
+                    pool_power.get(instance.pool, 0.0) + stats.power_watts
+                )
+                pool_gpus.setdefault(instance.pool, {})
+                pool_gpus[instance.pool][instance.tensor_parallelism] = (
+                    pool_gpus[instance.pool].get(instance.tensor_parallelism, 0)
+                    + instance.gpu_count
+                )
+                pool_freq_acc.setdefault(instance.pool, []).append(
+                    float(stats.frequency_mhz)
+                )
             for type_name, value in stats.energy_by_type_wh.items():
                 energy_by_type[type_name] = energy_by_type.get(type_name, 0.0) + value
             outcomes.extend(instance.drain_completed())
 
-        idle_power = sum(server.idle_gpu_power() for server in self.online_servers)
+        online = self.online_servers
+        idle_power = sum(server.idle_gpu_power() for server in online)
         power += idle_power
 
         energy_wh = power * dt / 3600.0
@@ -288,9 +318,9 @@ class GPUCluster:
             self.energy_by_type_wh[type_name] = (
                 self.energy_by_type_wh.get(type_name, 0.0) + value
             )
-        self._gpu_seconds += self.online_gpu_count * dt
+        online_gpus = sum(server.total_gpus for server in online)
+        self._gpu_seconds += online_gpus * dt
 
-        online_gpus = self.online_gpu_count
         average_frequency = (
             frequency_weighted / active_gpus if active_gpus > 0 else 0.0
         )
@@ -299,7 +329,7 @@ class GPUCluster:
             duration=dt,
             power_watts=power,
             energy_wh=energy_wh,
-            online_servers=self.online_server_count,
+            online_servers=len(online),
             online_gpus=online_gpus,
             active_gpus=active_gpus,
             average_frequency_mhz=average_frequency,
@@ -312,5 +342,6 @@ class GPUCluster:
             },
             outcomes=outcomes,
         )
-        self.step_history.append(stats)
+        if self.record_history:
+            self.step_history.append(stats)
         return stats

@@ -33,7 +33,7 @@ from repro.workload.request import Request, RequestOutcome
 _INSTANCE_COUNTER = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestState:
     """Mutable execution state of one request inside an instance."""
 
@@ -41,12 +41,16 @@ class RequestState:
     enqueue_time: float
     admitted_time: Optional[float] = None
     remaining_prefill: int = field(init=False)
+    type_name: str = field(init=False)
     generated_tokens: int = 0
     first_token_time: Optional[float] = None
     deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.remaining_prefill = self.request.input_tokens
+        # Classification is a pure function of the request's true token
+        # lengths; caching it here keeps it off the per-step token loops.
+        self.type_name = classify_request(self.request).name
 
     @property
     def prefill_done(self) -> bool:
@@ -63,7 +67,7 @@ class RequestState:
         return consumed_prefill + self.generated_tokens
 
 
-@dataclass
+@dataclass(slots=True)
 class StepStats:
     """Per-step accounting emitted by :meth:`InferenceInstance.step`."""
 
@@ -92,6 +96,7 @@ class InferenceInstance:
         frequency_mhz: Optional[int] = None,
         optimized_frequency_switching: bool = True,
         instance_id: Optional[str] = None,
+        record_history: bool = True,
     ) -> None:
         self.instance_id = instance_id or f"inst-{next(_INSTANCE_COUNTER)}"
         self.model = model
@@ -118,7 +123,29 @@ class InferenceInstance:
         self._decode_carry = 0.0
         self._load_ema_tps = 0.0
         self._arrived_tokens_step = 0
+        #: Whether per-step :class:`StepStats` are retained.  Lean sweeps
+        #: disable this (wired from the engine) so memory stays O(1) in
+        #: the number of steps instead of O(steps x instances).
+        self.record_history = record_history
         self._step_history: List[StepStats] = []
+        # Incrementally tracked min enqueue_time of the waiting queue;
+        # ``None`` means "recompute on next oldest_wait_s call".
+        self._oldest_enqueue: Optional[float] = None
+        # Incrementally tracked KV accounting over ``running``:
+        # ``_kv_tokens``  == sum(input - remaining_prefill + generated)
+        # ``_reserved_tokens`` == sum(input + generated)
+        # Both are exact integers updated at every mutation of the batch
+        # (admit / prefill / decode / finish), replacing O(batch) rescans
+        # on the step hot path.
+        self._kv_tokens = 0
+        self._reserved_tokens = 0
+        # States whose decode finished this step; lets _finish_completed
+        # skip rebuilding ``running`` on the (common) no-completion steps.
+        self._finished_pending: List[RequestState] = []
+        # Idle instance power memoised per (tp, frequency): the power
+        # model is a pure function, and zero-activity steps dominate in
+        # scaled-up fleets.
+        self._idle_power_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -169,26 +196,44 @@ class InferenceInstance:
         """Add a request to the instance's waiting queue."""
         state = RequestState(request=request, enqueue_time=now)
         self.waiting.append(state)
-        self._arrived_tokens_step += self._equivalent_tokens(request)
+        self._note_enqueued(state)
+        self._arrived_tokens_step += self._equivalent_tokens(state)
         return state
 
-    def _equivalent_tokens(self, request: Request) -> float:
+    def _equivalent_tokens(self, state: RequestState) -> float:
         """Prompt tokens converted to this instance's governing-type units."""
-        actual = classify_request(request).name
-        return equivalent_prompt_tokens(request.input_tokens, actual, self.request_type)
+        return equivalent_prompt_tokens(
+            state.request.input_tokens, state.type_name, self.request_type
+        )
+
+    def _note_enqueued(self, state: RequestState) -> None:
+        """Maintain the cached waiting-queue minimum on append."""
+        cached = self._oldest_enqueue
+        if cached is not None and state.enqueue_time < cached:
+            self._oldest_enqueue = state.enqueue_time
+        elif cached is None and len(self.waiting) == 1:
+            self._oldest_enqueue = state.enqueue_time
+
+    def _note_removed(self, state: RequestState) -> None:
+        """Invalidate the cached minimum when its holder leaves the queue."""
+        if state.enqueue_time == self._oldest_enqueue:
+            self._oldest_enqueue = None
 
     def steal_waiting(self, count: int) -> List[RequestState]:
         """Remove up to ``count`` not-yet-started requests (for re-steering)."""
         stolen: List[RequestState] = []
         while self.waiting and len(stolen) < count:
-            stolen.append(self.waiting.pop())
+            state = self.waiting.pop()
+            self._note_removed(state)
+            stolen.append(state)
         return stolen
 
     def adopt(self, states: Sequence[RequestState], now: float) -> None:
         """Accept request states re-steered from another instance."""
         for state in states:
             self.waiting.append(state)
-            self._arrived_tokens_step += self._equivalent_tokens(state.request)
+            self._note_enqueued(state)
+            self._arrived_tokens_step += self._equivalent_tokens(state)
 
     def squash_stale(self, now: float, wait_threshold_s: float) -> List[RequestOutcome]:
         """Drop waiting requests that exceeded the squash threshold."""
@@ -209,6 +254,9 @@ class InferenceInstance:
                 )
             else:
                 kept.append(state)
+        for outcome in squashed:
+            if outcome.start_time == self._oldest_enqueue:
+                self._oldest_enqueue = None
         self.waiting = kept
         self.completed.extend(squashed)
         return squashed
@@ -242,7 +290,9 @@ class InferenceInstance:
 
     @property
     def kv_tokens_used(self) -> int:
-        return sum(state.context_tokens for state in self.running)
+        # Maintained incrementally at every batch mutation; equal to
+        # sum(state.context_tokens for state in self.running).
+        return self._kv_tokens
 
     @property
     def kv_capacity(self) -> float:
@@ -256,7 +306,11 @@ class InferenceInstance:
     def oldest_wait_s(self, now: float) -> float:
         if not self.waiting:
             return 0.0
-        return now - min(state.enqueue_time for state in self.waiting)
+        oldest = self._oldest_enqueue
+        if oldest is None:
+            oldest = min(state.enqueue_time for state in self.waiting)
+            self._oldest_enqueue = oldest
+        return now - oldest
 
     def is_offline(self, now: float) -> bool:
         return now < self.offline_until
@@ -296,26 +350,40 @@ class InferenceInstance:
         cursor = now + (dt - available)
 
         if available > 0:
-            self._admit(now)
-            prefill_tokens, cursor = self._run_prefill(config, available, cursor, tokens_by_type)
-            decode_time = max(0.0, available - (prefill_tokens / max(1.0, self.latency.prefill_rate(config))))
-            decode_tokens = self._run_decode(config, decode_time, now, dt, tokens_by_type)
-            self._finish_completed(now, dt)
+            if self.waiting:
+                self._admit(now)
+            if self.running:
+                prefill_tokens, cursor = self._run_prefill(config, available, cursor, tokens_by_type)
+                decode_time = max(0.0, available - (prefill_tokens / max(1.0, self.latency.prefill_rate(config))))
+                decode_tokens = self._run_decode(config, decode_time, now, dt, tokens_by_type)
+                self._finish_completed(now, dt)
 
-        # Power/energy accounting.
-        busy_prefill = (
-            prefill_tokens / self.latency.prefill_rate(config) / dt if dt > 0 else 0.0
-        )
-        batch = max(1, len(self.running)) if decode_tokens > 0 else len(self.running)
-        decode_power_factor = 0.35 + 0.55 * min(1.0, batch / 64.0)
-        decode_busy = 0.0
-        if decode_tokens > 0 and dt > 0:
-            iteration = self.latency.iteration_time(config, batch, self._average_context())
-            decode_busy = min(1.0, decode_tokens / max(1, batch) * iteration / dt)
-        activity = min(1.0, busy_prefill + decode_busy * decode_power_factor)
-        power = self.power_model.instance_power(
-            config.tp, config.frequency_mhz, activity
-        )
+        # Power/energy accounting.  Idle steps (no tokens processed)
+        # evaluate to activity == 0.0 exactly, so the pure power-model
+        # call is memoised per configuration.
+        if prefill_tokens == 0 and decode_tokens == 0:
+            key = (config.tp, config.frequency_mhz)
+            cached_power = self._idle_power_cache.get(key)
+            if cached_power is None:
+                cached_power = self.power_model.instance_power(
+                    config.tp, config.frequency_mhz, 0.0
+                )
+                self._idle_power_cache[key] = cached_power
+            power = cached_power
+        else:
+            busy_prefill = (
+                prefill_tokens / self.latency.prefill_rate(config) / dt if dt > 0 else 0.0
+            )
+            batch = max(1, len(self.running)) if decode_tokens > 0 else len(self.running)
+            decode_power_factor = 0.35 + 0.55 * min(1.0, batch / 64.0)
+            decode_busy = 0.0
+            if decode_tokens > 0 and dt > 0:
+                iteration = self.latency.iteration_time(config, batch, self._average_context())
+                decode_busy = min(1.0, decode_tokens / max(1, batch) * iteration / dt)
+            activity = min(1.0, busy_prefill + decode_busy * decode_power_factor)
+            power = self.power_model.instance_power(
+                config.tp, config.frequency_mhz, activity
+            )
         energy_wh = power * dt / 3600.0
         self.total_energy_wh += energy_wh
 
@@ -343,7 +411,8 @@ class InferenceInstance:
             frequency_mhz=config.frequency_mhz,
             energy_by_type_wh=energy_by_type,
         )
-        self._step_history.append(stats)
+        if self.record_history:
+            self._step_history.append(stats)
         return stats
 
     # ------------------------------------------------------------------
@@ -354,17 +423,32 @@ class InferenceInstance:
         # Reserve KV space for admitted requests up front (their prompts will
         # occupy the cache as soon as they are prefetched), so admission does
         # not overshoot the cache just because prefill has not run yet.
-        reserved = sum(
-            max(state.context_tokens, state.request.input_tokens) for state in self.running
-        )
+        # max(context_tokens, input_tokens) == input_tokens + generated_tokens:
+        # while prefill is pending generated_tokens is 0 and context < input;
+        # once prefill finishes context == input + generated >= input.
+        # ``reserved`` mirrors the historical from-scratch sum (existing
+        # batch at input+generated, newly admitted at input only) while
+        # the instance-level counters track the exact batch invariants —
+        # adopted mid-flight states can carry generated tokens, so the
+        # two can legitimately differ within this loop.
+        reserved = self._reserved_tokens
         while self.waiting and len(self.running) < MAX_BATCH:
             candidate = self.waiting[0]
             projected = reserved + candidate.request.input_tokens
             if projected > capacity and self.running:
                 break
             state = self.waiting.popleft()
+            self._note_removed(state)
             state.admitted_time = now
-            reserved += state.request.input_tokens
+            reserved = projected
+            self._reserved_tokens += (
+                state.request.input_tokens + state.generated_tokens
+            )
+            self._kv_tokens += (
+                state.request.input_tokens
+                - state.remaining_prefill
+                + state.generated_tokens
+            )
             self.running.append(state)
 
     def _run_prefill(
@@ -375,10 +459,13 @@ class InferenceInstance:
         tokens_by_type: Dict[str, int],
     ) -> Tuple[int, float]:
         rate = self.latency.prefill_rate(config)
-        pending = [state for state in self.running if not state.prefill_done]
+        # ``prefill_done`` / ``done`` are inlined in the step loops below:
+        # these run once per state per step and property dispatch is the
+        # dominant cost at large batch sizes.
+        pending = [state for state in self.running if state.remaining_prefill > 0]
         if not pending:
             return 0, cursor
-        decoding = any(state.prefill_done for state in self.running)
+        decoding = any(state.remaining_prefill <= 0 for state in self.running)
         # Cap prefill at 60% of the step when decodes are in flight so that
         # decode progress (TBT) is not starved by long prompts.
         budget_s = available * (0.6 if decoding else 1.0)
@@ -392,7 +479,7 @@ class InferenceInstance:
             budget_tokens -= chunk
             processed += chunk
             cursor += chunk / rate
-            if state.prefill_done and state.first_token_time is None:
+            if state.remaining_prefill <= 0 and state.first_token_time is None:
                 # A request can never see its first token earlier than its
                 # arrival plus the isolated prefill latency (requests routed
                 # mid-step would otherwise appear to finish before arriving).
@@ -400,8 +487,9 @@ class InferenceInstance:
                 state.first_token_time = max(
                     cursor, state.request.arrival_time + isolated
                 )
-            type_name = classify_request(state.request).name
+            type_name = state.type_name
             tokens_by_type[type_name] = tokens_by_type.get(type_name, 0) + chunk
+        self._kv_tokens += processed
         return processed, cursor
 
     def _run_decode(
@@ -412,7 +500,13 @@ class InferenceInstance:
         dt: float,
         tokens_by_type: Dict[str, int],
     ) -> int:
-        decoders = [state for state in self.running if state.prefill_done and not state.done]
+        self._finished_pending = []
+        decoders = [
+            state
+            for state in self.running
+            if state.remaining_prefill <= 0
+            and state.generated_tokens < state.request.output_tokens
+        ]
         if not decoders or decode_time <= 0:
             return 0
         batch = len(decoders)
@@ -423,6 +517,7 @@ class InferenceInstance:
         if whole_iterations <= 0:
             return 0
         produced = 0
+        finished = self._finished_pending
         for state in decoders:
             remaining = state.request.output_tokens - state.generated_tokens
             tokens = min(remaining, whole_iterations)
@@ -430,28 +525,44 @@ class InferenceInstance:
                 continue
             state.generated_tokens += tokens
             produced += tokens
-            type_name = classify_request(state.request).name
+            if tokens == remaining:
+                # A request only ever completes through decode (outputs
+                # are >= 1 token), so collecting finishers here lets
+                # _finish_completed skip the batch rebuild entirely on
+                # steps where nothing completed.
+                finished.append(state)
+            type_name = state.type_name
             tokens_by_type[type_name] = tokens_by_type.get(type_name, 0) + tokens
+        self._kv_tokens += produced
+        self._reserved_tokens += produced
         return produced
 
     def _finish_completed(self, now: float, dt: float) -> None:
-        still_running: List[RequestState] = []
-        for state in self.running:
-            if state.done:
-                first_token = state.first_token_time if state.first_token_time is not None else now + dt
-                self.completed.append(
-                    RequestOutcome(
-                        request=state.request,
-                        pool=self.pool,
-                        instance_id=self.instance_id,
-                        start_time=state.enqueue_time,
-                        first_token_time=first_token,
-                        completion_time=now + dt,
-                    )
+        # Completion only happens through _run_decode (every request has
+        # >= 1 output token), which records finishers in order; steps
+        # where nothing completed skip the O(batch) rebuild.
+        finished = self._finished_pending
+        if not finished:
+            return
+        self._finished_pending = []
+        done_ids = {id(state) for state in finished}
+        self.running = [s for s in self.running if id(s) not in done_ids]
+        released = 0
+        for state in finished:
+            released += state.request.input_tokens + state.generated_tokens
+            first_token = state.first_token_time if state.first_token_time is not None else now + dt
+            self.completed.append(
+                RequestOutcome(
+                    request=state.request,
+                    pool=self.pool,
+                    instance_id=self.instance_id,
+                    start_time=state.enqueue_time,
+                    first_token_time=first_token,
+                    completion_time=now + dt,
                 )
-            else:
-                still_running.append(state)
-        self.running = still_running
+            )
+        self._kv_tokens -= released
+        self._reserved_tokens -= released
 
     def _average_context(self) -> float:
         if not self.running:

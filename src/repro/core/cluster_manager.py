@@ -17,6 +17,7 @@ The cluster manager sits at the top of the controller hierarchy.  It
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -76,11 +77,15 @@ class ClusterManager:
         request.predicted_type = predicted.name
         return predicted
 
-    def pool_for(self, request: Request, overloaded: Optional[Dict[str, bool]] = None) -> str:
+    def pool_for(
+        self, request: Request, overloaded: Optional[Mapping[str, bool]] = None
+    ) -> str:
         """Pool a request should go to, spilling when the pool is overloaded.
 
         ``overloaded`` maps pool name to a boolean overload flag supplied
-        by the pool managers; spilled requests go to the next larger pool.
+        by the pool managers (possibly lazily evaluated — at most two
+        pools are consulted per request); spilled requests go to the
+        next larger pool.
         """
         predicted = self.classify(request)
         pool_name = self.scheme.pool_of(predicted)

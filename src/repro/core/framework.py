@@ -15,6 +15,7 @@ MultiPool, ScaleInst, ScaleShard and ScaleFreq are defined in Section V.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -58,6 +59,41 @@ class ControllerEpochs:
     scale_epoch_s: float = 300.0
     shard_epoch_s: float = 60.0
     frequency_epoch_s: float = 5.0
+
+
+class _LazyOverloadMap(Mapping[str, bool]):
+    """Pool-name -> overload flag, evaluated on demand for one route call.
+
+    ``PoolManager.is_overloaded`` is a pure read over the pool's current
+    instances, but it walks every instance in the pool; routing consults
+    at most two pools per request, so the old eager dict comprehension
+    over *all* pools dominated the per-request routing cost.  Results
+    are cached for the lifetime of the map (one ``route`` call), so
+    repeated lookups within a call stay consistent.
+    """
+
+    __slots__ = ("_managers", "_now", "_cache")
+
+    def __init__(self, managers: Dict[str, PoolManager], now: float) -> None:
+        self._managers = managers
+        self._now = now
+        self._cache: Dict[str, bool] = {}
+
+    def __getitem__(self, name: str) -> bool:
+        cached = self._cache.get(name)
+        if cached is None:
+            manager = self._managers.get(name)
+            if manager is None:
+                raise KeyError(name)
+            cached = manager.is_overloaded(self._now)
+            self._cache[name] = cached
+        return cached
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._managers)
+
+    def __len__(self) -> int:
+        return len(self._managers)
 
 
 class DynamoLLM:
@@ -199,10 +235,7 @@ class DynamoLLM:
     # ------------------------------------------------------------------
     def route(self, request: Request, now: float) -> Optional[InstanceLike]:
         """Steer a request to an instance; returns the chosen instance."""
-        overloaded = {
-            name: manager.is_overloaded(now)
-            for name, manager in self.pool_managers.items()
-        }
+        overloaded = _LazyOverloadMap(self.pool_managers, now)
         pool_name = self.cluster_manager.pool_for(request, overloaded)
         instance = self._select_with_fallback(pool_name, request, now)
         if instance is not None:

@@ -21,7 +21,7 @@ from repro.core.interfaces import ClusterLike, InstanceLike
 from repro.core.optimizer import ShardingPlan, plan_sharding
 from repro.core.overheads import OverheadModel
 from repro.core.pools import PoolState
-from repro.perf.profile import EnergyPerformanceProfile
+from repro.perf.profile import EnergyPerformanceProfile, ProfileEntry
 from repro.sim.events import EventLog
 from repro.workload.request import Request
 
@@ -44,6 +44,13 @@ class PoolManager:
     #: shard epochs stay within SLO.
     capacity_headroom: float = 1.3
     _last_plan: Optional[ShardingPlan] = field(default=None, init=False)
+    #: Memoised (tp, frequency) -> profile entry (or None when the profile
+    #: has no such configuration).  Routing consults the profile for every
+    #: candidate instance of every request; the profile is immutable once
+    #: the managers exist, so the lookups are cached here.
+    _entry_cache: Dict[tuple, Optional[ProfileEntry]] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -60,7 +67,9 @@ class PoolManager:
 
     def is_overloaded(self, now: float) -> bool:
         """Whether every instance in the pool is saturated or offline."""
-        instances = self.instances()
+        # instances_in_pool already returns a fresh list; skip the extra
+        # defensive copy instances() makes — this runs per routed request.
+        instances = self.cluster.instances_in_pool(self.pool.name)
         if not instances:
             return True
         for instance in instances:
@@ -71,15 +80,25 @@ class PoolManager:
                 return False
         return True
 
-    def _instance_capacity(self, instance: InstanceLike) -> float:
+    def _profile_entry(self, tp: int, frequency_mhz: int) -> Optional[ProfileEntry]:
+        key = (tp, frequency_mhz)
+        cache = self._entry_cache
+        if key in cache:
+            return cache[key]
         try:
-            return self.profile.max_load(
-                self.pool.governing_type,
-                instance.tensor_parallelism,
-                instance.frequency.current_frequency_mhz,
+            entry: Optional[ProfileEntry] = self.profile.entry(
+                self.pool.governing_type, tp, frequency_mhz
             )
         except KeyError:
-            return float("inf")
+            entry = None
+        cache[key] = entry
+        return entry
+
+    def _instance_capacity(self, instance: InstanceLike) -> float:
+        entry = self._profile_entry(
+            instance.tensor_parallelism, instance.frequency.current_frequency_mhz
+        )
+        return entry.max_load_slo if entry is not None else float("inf")
 
     # ------------------------------------------------------------------
     # Request routing within the pool
@@ -93,7 +112,11 @@ class PoolManager:
         SLO-derived throughput limit; if none qualifies, the least loaded
         online instance is used.
         """
-        candidates = [i for i in self.instances() if not i.is_offline(now) and i.accepting]
+        candidates = [
+            i
+            for i in self.cluster.instances_in_pool(self.pool.name)
+            if not i.is_offline(now) and i.accepting
+        ]
         if not candidates:
             # No live instance in this pool (e.g. its server is still booting):
             # let the cluster manager fall through to the next larger pool
@@ -104,18 +127,19 @@ class PoolManager:
         added_load = request.input_tokens / max(1.0, self.shard_epoch_s) * 30.0
         for instance in candidates:
             projected = instance.load_estimate_tps + added_load
-            capacity = self._instance_capacity(instance)
-            if projected > capacity * 0.9:
-                continue
-            try:
-                cost = self.profile.power(
-                    self.pool.governing_type,
-                    instance.tensor_parallelism,
-                    instance.frequency.current_frequency_mhz,
-                    projected,
-                )
-            except KeyError:
+            entry = self._profile_entry(
+                instance.tensor_parallelism,
+                instance.frequency.current_frequency_mhz,
+            )
+            if entry is None:
+                # No profiled configuration: capacity is unbounded and the
+                # projected load itself stands in for the energy cost
+                # (matching the historical KeyError fallbacks).
                 cost = projected
+            else:
+                if projected > entry.max_load_slo * 0.9:
+                    continue
+                cost = entry.power_at(projected)
             # Penalise queue build-up so work spreads when power ties.
             cost += instance.queue_length * 1.0
             if cost < best_cost:

@@ -114,30 +114,70 @@ class LatencyStats:
         objects are dropped.  Used by the sweep executors to keep lean
         result transfer cheap across process pools.
         """
+        # Single pass over the outcomes: each is classified once and the
+        # scaled SLO is memoised per (type, slo_scale), instead of the
+        # historical ~8 passes (separate met loop, per-type regroup and
+        # per-group value extraction).  SLO construction is pure, so the
+        # memoised thresholds — and every emitted float — are identical.
+        slo_policy = self.slo_policy
+        scaled_slos: Dict[tuple, object] = {}
         met = 0
+        squashed = 0
+        ttft_all: List[float] = []
+        tbt_all: List[float] = []
+        # name -> [ttft samples, tbt samples, total, squashed, met];
+        # insertion order matches by_request_type()'s first-occurrence order.
+        groups: Dict[str, list] = {}
         for outcome in self.outcomes:
+            request = outcome.request
+            request_type = classify_request(request)
+            name = request_type.name
+            if include_types:
+                acc = groups.get(name)
+                if acc is None:
+                    acc = groups[name] = [[], [], 0, 0, 0]
+                acc[2] += 1
             if outcome.squashed:
+                squashed += 1
+                if include_types:
+                    acc[3] += 1
                 continue
-            request_type = classify_request(outcome.request)
-            slo = self.slo_policy.slo_for(request_type).scaled(
-                max(1.0, outcome.request.slo_scale)
-            )
-            if outcome.meets(slo.ttft_s, slo.tbt_s):
+            ttft = outcome.ttft
+            tbt = outcome.tbt
+            ttft_all.append(ttft)
+            tbt_all.append(tbt)
+            key = (name, request.slo_scale)
+            slo = scaled_slos.get(key)
+            if slo is None:
+                slo = slo_policy.slo_for(request_type).scaled(
+                    max(1.0, request.slo_scale)
+                )
+                scaled_slos[key] = slo
+            ok = outcome.meets(slo.ttft_s, slo.tbt_s)  # type: ignore[attr-defined]
+            if ok:
                 met += 1
-        per_type = (
-            {
-                name: stats.condensed(include_types=False)
-                for name, stats in self.by_request_type().items()
-            }
-            if include_types
-            else {}
-        )
+            if include_types:
+                acc[0].append(ttft)
+                acc[1].append(tbt)
+                if ok:
+                    acc[4] += 1
+        per_type = {
+            name: CondensedLatencyStats(
+                slo_policy=slo_policy,
+                ttft=np.asarray(acc[0], dtype=float),
+                tbt=np.asarray(acc[1], dtype=float),
+                total=acc[2],
+                squashed=acc[3],
+                met=acc[4],
+            )
+            for name, acc in groups.items()
+        }
         return CondensedLatencyStats(
-            slo_policy=self.slo_policy,
-            ttft=self.ttft_values(),
-            tbt=self.tbt_values(),
+            slo_policy=slo_policy,
+            ttft=np.asarray(ttft_all, dtype=float),
+            tbt=np.asarray(tbt_all, dtype=float),
             total=self.count,
-            squashed=self.squashed_count,
+            squashed=squashed,
             met=met,
             per_type=per_type,
         )

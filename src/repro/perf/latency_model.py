@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.llm.catalog import ModelSpec
 from repro.llm.gpu import GPUSpec, ServerSpec, DGX_H100
@@ -79,6 +79,21 @@ class OperatingPoint:
         return self.prefill_busy + self.decode_busy
 
 
+class _ConfigConstants(NamedTuple):
+    """Per-(TP, frequency) quantities that depend only on the config.
+
+    Every field is the *whole* value the corresponding elementary method
+    used to compute, so cached lookups are bit-identical to recomputing:
+    no constant folding or reassociation happens here, only memoisation.
+    """
+
+    prefill_rate: float
+    weight_read_time: float
+    decode_compute_time_per_token: float
+    iteration_comm_time: float
+    memory_bandwidth: float
+
+
 class LatencyModel:
     """Latency/throughput model for one LLM on one server type."""
 
@@ -86,6 +101,42 @@ class LatencyModel:
         self.model = model
         self.server = server
         self.gpu: GPUSpec = server.gpu
+        # The instance step loop evaluates iteration_time once per decode
+        # step per instance; everything except batch/context is a pure
+        # function of (tp, frequency), so it is computed once per config.
+        self._config_constants: Dict[Tuple[int, int], _ConfigConstants] = {}
+        self._kv_capacity_by_tp: Dict[int, float] = {}
+        self._kv_bytes_per_token: Optional[float] = None
+
+    def _constants(self, config: InstanceConfig) -> _ConfigConstants:
+        key = (config.tp, config.frequency_mhz)
+        cached = self._config_constants.get(key)
+        if cached is None:
+            ratio = self._frequency_ratio(config)
+            bandwidth = (
+                self.gpu.memory_bandwidth_gbps * 1e9 * self._bandwidth_factor(ratio)
+            )
+            flops_per_token = 2.0 * self.model.active_params_b * 1e9
+            cached = _ConfigConstants(
+                prefill_rate=(
+                    config.tp * self.gpu.peak_fp16_tflops * 1e12 * PREFILL_MFU * ratio
+                )
+                / flops_per_token,
+                weight_read_time=self.model.active_weight_bytes / config.tp / bandwidth,
+                decode_compute_time_per_token=flops_per_token
+                / (config.tp * self.gpu.peak_fp16_tflops * 1e12 * DECODE_MFU * ratio),
+                iteration_comm_time=(
+                    0.0
+                    if config.tp <= 1
+                    else 2.0
+                    * self.model.n_layers
+                    * ALLREDUCE_LATENCY_S
+                    * math.log2(config.tp)
+                ),
+                memory_bandwidth=bandwidth,
+            )
+            self._config_constants[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Elementary quantities
@@ -100,12 +151,7 @@ class LatencyModel:
 
     def prefill_rate(self, config: InstanceConfig) -> float:
         """Sustained prefill throughput in prompt tokens per second."""
-        ratio = self._frequency_ratio(config)
-        flops_per_token = 2.0 * self.model.active_params_b * 1e9
-        aggregate_flops = (
-            config.tp * self.gpu.peak_fp16_tflops * 1e12 * PREFILL_MFU * ratio
-        )
-        return aggregate_flops / flops_per_token
+        return self._constants(config).prefill_rate
 
     def prefill_time(self, config: InstanceConfig, input_tokens: float) -> float:
         """Isolated prefill latency for a prompt of ``input_tokens``."""
@@ -129,49 +175,44 @@ class LatencyModel:
         return self.model.n_layers * (transfer + latency)
 
     def _iteration_comm_time(self, config: InstanceConfig) -> float:
-        if config.tp <= 1:
-            return 0.0
-        return 2.0 * self.model.n_layers * ALLREDUCE_LATENCY_S * math.log2(config.tp)
+        return self._constants(config).iteration_comm_time
 
     def weight_read_time(self, config: InstanceConfig) -> float:
         """Time to stream the per-GPU weight shard from HBM once."""
-        ratio = self._frequency_ratio(config)
-        bandwidth = (
-            self.gpu.memory_bandwidth_gbps * 1e9 * self._bandwidth_factor(ratio)
-        )
-        return self.model.active_weight_bytes / config.tp / bandwidth
+        return self._constants(config).weight_read_time
 
     def kv_read_time_per_token(self, config: InstanceConfig, context: float) -> float:
         """Marginal HBM time per running sequence (its KV cache) per iteration."""
-        ratio = self._frequency_ratio(config)
-        bandwidth = (
-            self.gpu.memory_bandwidth_gbps * 1e9 * self._bandwidth_factor(ratio)
-        )
-        return context * self.model.kv_bytes_per_token() / config.tp / bandwidth
+        bandwidth = self._constants(config).memory_bandwidth
+        kv_bytes = self._kv_bytes_per_token
+        if kv_bytes is None:
+            kv_bytes = self.model.kv_bytes_per_token()
+            self._kv_bytes_per_token = kv_bytes
+        return context * kv_bytes / config.tp / bandwidth
 
     def decode_compute_time_per_token(self, config: InstanceConfig) -> float:
         """Tensor-core time per generated token (matters only at huge batch)."""
-        ratio = self._frequency_ratio(config)
-        flops_per_token = 2.0 * self.model.active_params_b * 1e9
-        aggregate_flops = (
-            config.tp * self.gpu.peak_fp16_tflops * 1e12 * DECODE_MFU * ratio
-        )
-        return flops_per_token / aggregate_flops
+        return self._constants(config).decode_compute_time_per_token
 
     def iteration_time(
         self, config: InstanceConfig, batch_size: float, context: float
     ) -> float:
         """Duration of one decode iteration with ``batch_size`` sequences."""
+        constants = self._constants(config)
         batch = max(1.0, batch_size)
-        memory = self.weight_read_time(config) + batch * self.kv_read_time_per_token(
+        memory = constants.weight_read_time + batch * self.kv_read_time_per_token(
             config, context
         )
-        compute = batch * self.decode_compute_time_per_token(config)
-        return max(memory, compute) + self._iteration_comm_time(config) + ITERATION_OVERHEAD_S
+        compute = batch * constants.decode_compute_time_per_token
+        return max(memory, compute) + constants.iteration_comm_time + ITERATION_OVERHEAD_S
 
     def kv_capacity_tokens(self, config: InstanceConfig) -> float:
         """Usable KV-cache capacity (tokens of context) of the instance."""
-        return self.model.kv_capacity_tokens(config.tp, self.server) * KV_UTILIZATION
+        cached = self._kv_capacity_by_tp.get(config.tp)
+        if cached is None:
+            cached = self.model.kv_capacity_tokens(config.tp, self.server) * KV_UTILIZATION
+            self._kv_capacity_by_tp[config.tp] = cached
+        return cached
 
     def max_batch(self, config: InstanceConfig, context: float) -> float:
         """Maximum concurrent sequences permitted by KV memory and the seq cap."""

@@ -11,13 +11,42 @@ analytical model directly.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.interpolate import interp1d
 
 from repro.perf.config import InstanceConfig
+
+
+def _interp_scalar(x: float, xp: List[float], fp: List[float]) -> float:
+    """Scalar linear interpolation, bit-identical to ``np.interp``.
+
+    Mirrors the exact float operations of numpy's compiled kernel
+    (``arr_interp``): same clamping, same exact-knot short-circuit, and
+    the same ``slope*(x - xp[j]) + fp[j]`` evaluation order — so results
+    match ``float(np.interp(x, xp, fp))`` to the bit, at a fraction of
+    the per-call overhead for scalar queries on the controller hot path.
+    """
+    n = len(xp)
+    if x > xp[n - 1]:
+        return fp[n - 1]
+    if x < xp[0]:
+        return fp[0]
+    j = bisect_right(xp, x) - 1
+    if j == n - 1:
+        return fp[n - 1]
+    xj = xp[j]
+    if x == xj:
+        return fp[j]
+    slope = (fp[j + 1] - fp[j]) / (xp[j + 1] - xj)
+    res = slope * (x - xj) + fp[j]
+    if res != res:  # numpy's NaN recovery: grids may hold inf (SLO-violating)
+        res = slope * (x - xp[j + 1]) + fp[j + 1]
+        if res != res and fp[j] == fp[j + 1]:
+            res = fp[j]
+    return res
 
 
 @dataclass
@@ -33,10 +62,26 @@ class ProfileEntry:
     ttft_s: Sequence[float]
     tbt_s: Sequence[float]
     max_load_slo: float
-    _power_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
-    _energy_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
-    _ttft_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
-    _tbt_fn: Optional[interp1d] = field(default=None, init=False, repr=False)
+    _load_grid: np.ndarray = field(
+        default_factory=lambda: np.empty(0), init=False, repr=False
+    )
+    _power_grid: np.ndarray = field(
+        default_factory=lambda: np.empty(0), init=False, repr=False
+    )
+    _energy_grid: np.ndarray = field(
+        default_factory=lambda: np.empty(0), init=False, repr=False
+    )
+    _ttft_grid: np.ndarray = field(
+        default_factory=lambda: np.empty(0), init=False, repr=False
+    )
+    _tbt_grid: np.ndarray = field(
+        default_factory=lambda: np.empty(0), init=False, repr=False
+    )
+    _load_list: List[float] = field(default_factory=list, init=False, repr=False)
+    _power_list: List[float] = field(default_factory=list, init=False, repr=False)
+    _energy_list: List[float] = field(default_factory=list, init=False, repr=False)
+    _ttft_list: List[float] = field(default_factory=list, init=False, repr=False)
+    _tbt_list: List[float] = field(default_factory=list, init=False, repr=False)
 
     def __post_init__(self) -> None:
         loads = np.asarray(self.loads, dtype=float)
@@ -45,19 +90,21 @@ class ProfileEntry:
         if np.any(np.diff(loads) <= 0):
             raise ValueError("profile load points must be strictly increasing")
 
-        def build(values: Sequence[float]) -> interp1d:
-            return interp1d(
-                loads,
-                np.asarray(values, dtype=float),
-                kind="linear",
-                bounds_error=False,
-                fill_value=(values[0], values[-1]),
-            )
-
-        self._power_fn = build(self.power_watts)
-        self._energy_fn = build(self.energy_per_request_wh)
-        self._ttft_fn = build(self.ttft_s)
-        self._tbt_fn = build(self.tbt_s)
+        # ``np.interp`` over the raw grids is what SciPy's linear
+        # ``interp1d`` evaluates to for float64 inputs (with the grid
+        # endpoints as fill values); the lookups themselves go through
+        # :func:`_interp_scalar`, which replays numpy's kernel on plain
+        # floats — this sits on the controller hot path.
+        self._load_grid = loads
+        self._power_grid = np.asarray(self.power_watts, dtype=float)
+        self._energy_grid = np.asarray(self.energy_per_request_wh, dtype=float)
+        self._ttft_grid = np.asarray(self.ttft_s, dtype=float)
+        self._tbt_grid = np.asarray(self.tbt_s, dtype=float)
+        self._load_list = self._load_grid.tolist()
+        self._power_list = self._power_grid.tolist()
+        self._energy_list = self._energy_grid.tolist()
+        self._ttft_list = self._ttft_grid.tolist()
+        self._tbt_list = self._tbt_grid.tolist()
 
     @property
     def config(self) -> InstanceConfig:
@@ -69,16 +116,16 @@ class ProfileEntry:
 
     def power_at(self, load: float) -> float:
         """Interpolated instance power (W) at the given prompt-token load."""
-        return float(self._power_fn(max(0.0, load)))
+        return _interp_scalar(max(0.0, load), self._load_list, self._power_list)
 
     def energy_per_request_at(self, load: float) -> float:
-        return float(self._energy_fn(max(0.0, load)))
+        return _interp_scalar(max(0.0, load), self._load_list, self._energy_list)
 
     def ttft_at(self, load: float) -> float:
-        return float(self._ttft_fn(max(0.0, load)))
+        return _interp_scalar(max(0.0, load), self._load_list, self._ttft_list)
 
     def tbt_at(self, load: float) -> float:
-        return float(self._tbt_fn(max(0.0, load)))
+        return _interp_scalar(max(0.0, load), self._load_list, self._tbt_list)
 
 
 class EnergyPerformanceProfile:
@@ -92,6 +139,12 @@ class EnergyPerformanceProfile:
     def __init__(self, model_name: str) -> None:
         self.model_name = model_name
         self._entries: Dict[Tuple[str, int, int], ProfileEntry] = {}
+        # Memoised frequencies() results, invalidated whenever an entry
+        # is added.  The controllers call frequencies() once per scaling
+        # decision and the set-comprehension over every entry showed up
+        # in campaign profiles.  Cached lists are shared: callers must
+        # treat them as read-only (all in-repo callers do).
+        self._frequency_cache: Dict[Tuple[str, int], List[int]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,6 +152,7 @@ class EnergyPerformanceProfile:
     def add_entry(self, entry: ProfileEntry) -> None:
         key = (entry.request_type, entry.tensor_parallelism, entry.frequency_mhz)
         self._entries[key] = entry
+        self._frequency_cache.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,13 +184,18 @@ class EnergyPerformanceProfile:
         return sorted({key[1] for key in self._entries if key[0] == request_type})
 
     def frequencies(self, request_type: str, tensor_parallelism: int) -> List[int]:
-        return sorted(
-            {
-                key[2]
-                for key in self._entries
-                if key[0] == request_type and key[1] == tensor_parallelism
-            }
-        )
+        cache_key = (request_type, tensor_parallelism)
+        cached = self._frequency_cache.get(cache_key)
+        if cached is None:
+            cached = sorted(
+                {
+                    key[2]
+                    for key in self._entries
+                    if key[0] == request_type and key[1] == tensor_parallelism
+                }
+            )
+            self._frequency_cache[cache_key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Queries used by the controllers

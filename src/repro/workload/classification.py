@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
 
 from repro.workload.request import Request
 
@@ -44,6 +45,13 @@ class RequestType:
 
     @property
     def name(self) -> str:
+        # Request classification sits on the per-token simulation hot
+        # path; the f-string (and the enum ``.value`` descriptor walks it
+        # implies) shows up in profiles, so canonical pairs resolve
+        # through a precomputed table instead.
+        cached = _NAME_TABLE.get((self.input_class, self.output_class))
+        if cached is not None:
+            return cached
         return f"{self.input_class.value}{self.output_class.value}"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
@@ -74,7 +82,20 @@ REQUEST_TYPES: Tuple[RequestType, ...] = tuple(
     RequestType(i, o) for i in _CLASS_ORDER for o in _CLASS_ORDER
 )
 
+#: Precomputed names for the canonical class pairs (hot-path lookup).
+_NAME_TABLE: Dict[Tuple[LengthClass, LengthClass], str] = {
+    (i, o): f"{i.value}{o.value}" for i in _CLASS_ORDER for o in _CLASS_ORDER
+}
+
 REQUEST_TYPE_NAMES: Tuple[str, ...] = tuple(t.name for t in REQUEST_TYPES)
+
+#: Canonical RequestType instances indexed by (input bucket, output
+#: bucket) position — classification on the default thresholds returns
+#: these shared objects instead of constructing a fresh dataclass per
+#: request per step.
+_CANONICAL_TYPES: Tuple[Tuple[RequestType, ...], ...] = tuple(
+    tuple(RequestType(i, o) for o in _CLASS_ORDER) for i in _CLASS_ORDER
+)
 
 
 def _bucket(length: int, thresholds: Sequence[int]) -> LengthClass:
@@ -93,6 +114,15 @@ def classify_length(
     output_thresholds: Sequence[int] = DEFAULT_OUTPUT_THRESHOLDS,
 ) -> RequestType:
     """Classify raw token counts into one of the nine request types."""
+    if (
+        input_thresholds is DEFAULT_INPUT_THRESHOLDS
+        and output_thresholds is DEFAULT_OUTPUT_THRESHOLDS
+    ):
+        in_lo, in_mid, _ = DEFAULT_INPUT_THRESHOLDS
+        out_lo, out_mid, _ = DEFAULT_OUTPUT_THRESHOLDS
+        i = 0 if input_tokens < in_lo else (1 if input_tokens < in_mid else 2)
+        o = 0 if output_tokens < out_lo else (1 if output_tokens < out_mid else 2)
+        return _CANONICAL_TYPES[i][o]
     return RequestType(
         _bucket(input_tokens, input_thresholds),
         _bucket(output_tokens, output_thresholds),
@@ -151,6 +181,7 @@ def ttft_safety_factor(request_type: RequestType) -> float:
     return worst_case_input_tokens(request_type) / representative_input
 
 
+@lru_cache(maxsize=None)
 def type_intensity(type_name: str) -> float:
     """Total tokens processed per prompt token for a bucket.
 
@@ -164,6 +195,7 @@ def type_intensity(type_name: str) -> float:
     return (n_in + n_out) / n_in
 
 
+@lru_cache(maxsize=1 << 16)
 def equivalent_prompt_tokens(
     input_tokens: int, actual_type: str, governing_type: str
 ) -> float:
@@ -216,10 +248,7 @@ class ClassificationScheme:
 
     def pool_of(self, request_type: RequestType) -> str:
         """Name of the pool that serves the given base bucket."""
-        for group in self.groups:
-            if request_type.name in group:
-                return self.pool_name(group)
-        raise KeyError(f"request type {request_type.name} not covered by scheme {self.name}")
+        return _pool_of(self, request_type.name)
 
     def members(self, pool_name: str) -> Tuple[str, ...]:
         for group in self.groups:
@@ -248,6 +277,9 @@ class ClassificationScheme:
         onto itself — it is the only pool allowed to be over-provisioned
         (Section IV-B).
         """
+        return _next_larger_pool(self, pool_name)
+
+    def _next_larger_pool_uncached(self, pool_name: str) -> str:
         governing = self.heaviest_member(pool_name)
         order = list(_CLASS_ORDER)
         input_index = order.index(governing.input_class)
@@ -263,6 +295,21 @@ class ClassificationScheme:
             if target != pool_name:
                 return target
         return pool_name
+
+
+@lru_cache(maxsize=None)
+def _pool_of(scheme: ClassificationScheme, type_name: str) -> str:
+    """Cached pool lookup — schemes are frozen, so the mapping is stable."""
+    for group in scheme.groups:
+        if type_name in group:
+            return scheme.pool_name(group)
+    raise KeyError(f"request type {type_name} not covered by scheme {scheme.name}")
+
+
+@lru_cache(maxsize=None)
+def _next_larger_pool(scheme: ClassificationScheme, pool_name: str) -> str:
+    """Cached spill-target lookup (pure function of the frozen scheme)."""
+    return scheme._next_larger_pool_uncached(pool_name)
 
 
 def _scheme_from_groups(name: str, groups: Sequence[Sequence[str]]) -> ClassificationScheme:

@@ -489,3 +489,128 @@ class TestSinks:
         (record,) = read_jsonl(str(path))
         assert record["requests"] > 0
         assert record["energy_kwh"] > 0
+
+
+# ----------------------------------------------------------------------
+# Vectorized event-engine hot path: every fast path must be a pure
+# optimisation (field-identical summaries), and the engine must conserve
+# requests over long non-dyadic horizons.
+# ----------------------------------------------------------------------
+class TestEngineHotPath:
+    @staticmethod
+    def _fingerprint(summary):
+        lat = summary.latency
+        return (
+            summary.policy,
+            summary.trace,
+            repr(summary.duration_s),
+            repr(summary.energy.total_wh),
+            tuple(sorted(summary.energy.by_type_wh.items())),
+            repr(summary.gpu_hours),
+            summary.routed_requests,
+            summary.squashed_requests,
+            summary.reconfigurations,
+            tuple(lat.ttft_values().tolist()),
+            tuple(lat.tbt_values().tolist()),
+            repr(lat.slo_attainment()),
+            lat.count,
+            lat.squashed_count,
+        )
+
+    @pytest.mark.parametrize("policy", ("DynamoLLM", "SinglePool"))
+    def test_vectorized_matches_scalar_walk(self, policy, short_trace, experiment_config):
+        from repro.api.engine import SimulationEngine
+
+        spec = get_policy_spec(policy)
+        fast = SimulationEngine(spec, short_trace, experiment_config, lean=True)
+        assert fast._vectorized
+        slow = SimulationEngine(
+            spec, short_trace, experiment_config, lean=True, vectorized=False
+        )
+        assert not slow._vectorized
+        assert self._fingerprint(fast.run()) == self._fingerprint(slow.run())
+
+    def test_unsorted_arrivals_disable_the_vectorized_slice(
+        self, short_trace, experiment_config
+    ):
+        import copy
+
+        from repro.api.engine import SimulationEngine
+
+        shuffled = copy.copy(short_trace)
+        shuffled.requests = list(reversed(short_trace.requests))
+        engine = SimulationEngine(
+            get_policy_spec("DynamoLLM"), shuffled, experiment_config, lean=True
+        )
+        assert not engine._vectorized
+
+    def test_lean_fast_path_matches_full_observers(self, short_trace, experiment_config):
+        from repro.api.engine import SimulationEngine
+
+        spec = get_policy_spec("DynamoLLM")
+        lean = SimulationEngine(spec, short_trace, experiment_config, lean=True).run()
+        full = SimulationEngine(spec, short_trace, experiment_config, lean=False).run()
+        assert self._fingerprint(lean) == self._fingerprint(full)
+
+    def test_step_history_is_opt_in(self, tiny_trace, experiment_config):
+        from repro.api.engine import SimulationEngine
+
+        spec = get_policy_spec("DynamoLLM")
+        lean = SimulationEngine(spec, tiny_trace, experiment_config, lean=True)
+        lean.run()
+        assert lean.cluster.step_history == []
+        assert all(
+            i.step_history == [] for i in lean.cluster.instances.values()
+        )
+        full = SimulationEngine(spec, tiny_trace, experiment_config, lean=False)
+        full.run()
+        assert full.cluster.step_history
+        assert any(i.step_history for i in full.cluster.instances.values())
+
+    @pytest.mark.parametrize("time_step_s", (0.1, 0.3, 1.0))
+    def test_long_horizon_request_conservation(self, profile, tiny_trace, time_step_s):
+        """Thousands of k*dt boundaries must neither drop nor double-route
+        arrivals, and every routed request must produce exactly one outcome."""
+        from repro.api.engine import SimulationEngine
+
+        config = ExperimentConfig(
+            profile=profile, max_servers=16, time_step_s=time_step_s
+        )
+        engine = SimulationEngine(
+            get_policy_spec("DynamoLLM"), tiny_trace, config, lean=True
+        )
+        summary = engine.run()
+        assert summary.routed_requests == len(tiny_trace.requests)
+        assert summary.latency.count == summary.routed_requests
+
+    def test_shared_trace_round_trip(self, tiny_trace):
+        from repro.api.executor import _encode_trace, _materialise_shared
+
+        handle, segment = _encode_trace(tiny_trace)
+        try:
+            rebuilt = _materialise_shared(handle)
+        finally:
+            segment.close()
+            segment.unlink()
+        assert rebuilt.name == tiny_trace.name
+        assert len(rebuilt.requests) == len(tiny_trace.requests)
+        for original, copy_ in zip(tiny_trace.requests, rebuilt.requests):
+            assert original.arrival_time == copy_.arrival_time
+            assert original.input_tokens == copy_.input_tokens
+            assert original.output_tokens == copy_.output_tokens
+            assert original.request_id == copy_.request_id
+            assert original.service == copy_.service
+            assert original.slo_scale == copy_.slo_scale
+
+    def test_process_pool_matches_serial(self, tiny_trace, experiment_config):
+        from repro.api import runs
+
+        scenarios = [
+            Scenario(policy="DynamoLLM", trace=tiny_trace, base_config=experiment_config),
+            Scenario(policy="SinglePool", trace=tiny_trace, base_config=experiment_config),
+        ]
+        serial = runs(scenarios, lean=True)
+        pooled = runs(scenarios, workers=2, mode="process", lean=True)
+        assert [self._fingerprint(s) for s in serial] == [
+            self._fingerprint(s) for s in pooled
+        ]

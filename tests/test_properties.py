@@ -342,3 +342,74 @@ class TestResampleMassConservation:
             original_mass = sum(r.total_tokens for r in trace.requests)
             scaled_mass = sum(r.total_tokens for r in resampled.requests)
             assert scaled_mass == pytest.approx(factor * original_mass, rel=0.05)
+
+
+class TestInstanceQueueCounterProperties:
+    """Randomised oracle checks for the incrementally maintained
+    waiting-queue minimum and running-batch KV counters."""
+
+    @staticmethod
+    def _oracle_oldest_wait(instance, now):
+        if not instance.waiting:
+            return 0.0
+        return now - min(state.enqueue_time for state in instance.waiting)
+
+    def test_oldest_wait_matches_oracle_across_queue_mutations(self):
+        from repro.cluster.instance import InferenceInstance
+        from repro.workload.classification import classify_request
+        from repro.workload.request import Request
+        from repro.workload.slo import DEFAULT_SLO_POLICY
+
+        rng = random.Random(20260807)
+        instance = InferenceInstance(LLAMA2_70B, tensor_parallelism=8)
+        donor = InferenceInstance(LLAMA2_70B, tensor_parallelism=8)
+        slo_lookup = lambda request: DEFAULT_SLO_POLICY.slo_for(
+            classify_request(request)
+        ).ttft_s
+        now = 0.0
+        for _ in range(400):
+            now += rng.uniform(0.0, 2.0)
+            op = rng.randrange(6)
+            if op in (0, 1):  # enqueue (possibly out of order arrivals)
+                request = Request(
+                    arrival_time=max(0.0, now - rng.uniform(0.0, 5.0)),
+                    input_tokens=rng.randrange(1, 4000),
+                    output_tokens=rng.randrange(1, 800),
+                )
+                instance.enqueue(request, now - rng.uniform(0.0, 3.0))
+            elif op == 2 and instance.waiting:
+                stolen = instance.steal_waiting(rng.randrange(1, 4))
+                donor.adopt(stolen, now)
+            elif op == 3 and donor.waiting:
+                instance.adopt(donor.steal_waiting(rng.randrange(1, 4)), now)
+            elif op == 4:
+                instance.reorder_queue_by_deadline(slo_lookup)
+            elif op == 5:
+                instance.squash_stale(now, wait_threshold_s=rng.uniform(1.0, 10.0))
+            assert instance.oldest_wait_s(now) == pytest.approx(
+                self._oracle_oldest_wait(instance, now), abs=0.0
+            )
+        # Both instances must agree with the oracle at the end.
+        assert donor.oldest_wait_s(now) == pytest.approx(
+            self._oracle_oldest_wait(donor, now), abs=0.0
+        )
+
+    def test_kv_counters_match_oracle_during_run(self, tiny_trace, experiment_config):
+        from repro.api.engine import SimulationEngine
+        from repro.policies.base import get_policy_spec
+
+        engine = SimulationEngine(
+            get_policy_spec("DynamoLLM"), tiny_trace, experiment_config, lean=True
+        )
+        checked = 0
+        while engine.step():
+            for instance in engine.cluster.instances.values():
+                expected_kv = sum(s.context_tokens for s in instance.running)
+                expected_reserved = sum(
+                    s.request.input_tokens + s.generated_tokens
+                    for s in instance.running
+                )
+                assert instance.kv_tokens_used == expected_kv
+                assert instance._reserved_tokens == expected_reserved
+                checked += 1
+        assert checked > 0
